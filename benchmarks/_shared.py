@@ -1,0 +1,62 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench file reproduces one table or figure of the paper.  The α
+sweep behind Figs. 6-8 and Tables 3-4 is expensive, so it is computed
+once per (family, dataset) and memoised here for all consumers.
+
+Scale: ``REPRO_BENCH_N`` keys per dataset (default 10 000 — scaled
+down from the paper's 200M for pure-Python runtimes; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.evaluation.runner import (
+    CsvExperimentRow,
+    run_alpha_sweep,
+    run_cardinality_sweep,
+)
+
+#: The paper's smoothing-threshold grid (Section 6.1).
+ALPHAS = (0.05, 0.1, 0.2, 0.4, 0.8)
+
+#: Index families CSV integrates with.
+FAMILIES = ("lipp", "sali", "alex")
+
+#: The four evaluation datasets (synthetic analogues).
+DATASET_NAMES = ("facebook", "covid", "osm", "genome")
+
+
+def bench_n() -> int:
+    """Keys per dataset for the benchmark runs."""
+    return int(os.environ.get("REPRO_BENCH_N", "10000"))
+
+
+@lru_cache(maxsize=None)
+def alpha_sweep(family: str, dataset: str) -> tuple[CsvExperimentRow, ...]:
+    """Memoised α sweep for one (family, dataset) cell."""
+    return tuple(run_alpha_sweep(family, dataset, alphas=ALPHAS, n=bench_n()))
+
+
+@lru_cache(maxsize=None)
+def cardinality_sweep(family: str, dataset: str) -> tuple[CsvExperimentRow, ...]:
+    """Memoised Fig. 9 sweep for one (family, dataset) cell."""
+    return tuple(
+        run_cardinality_sweep(
+            family,
+            dataset,
+            fractions=(0.125, 0.25, 0.5, 1.0),
+            full_n=bench_n(),
+        )
+    )
+
+
+def emit(name: str, content: str) -> None:
+    """Print a reproduced table and tee it to ``results/<name>.txt``."""
+    from repro.evaluation.reporting import write_result
+
+    banner = f"===== {name} ====="
+    print(f"\n{banner}\n{content}")
+    write_result(name, content)

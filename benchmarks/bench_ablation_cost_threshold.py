@@ -1,0 +1,55 @@
+"""Ablation — cost threshold sensitivity for ALEX (Section 5.1).
+
+Design claim: lowering the threshold ``c`` below zero makes CSV more
+selective — fewer rebuilds and fewer promoted keys, but the rebuilds
+that do happen are the most profitable ones, so the per-key
+improvement does not degrade.
+"""
+
+from __future__ import annotations
+
+from _shared import bench_n, emit
+
+from repro.core.csv_algorithm import CsvConfig
+from repro.evaluation.reporting import ascii_table
+from repro.evaluation.runner import run_csv_experiment
+
+
+THRESHOLDS = (0.0, -20.0, -60.0)
+
+
+def compute():
+    rows = []
+    for threshold in THRESHOLDS:
+        row = run_csv_experiment(
+            "alex",
+            "genome",
+            n=bench_n(),
+            csv_config=CsvConfig(alpha=0.1, cost_threshold=threshold),
+        )
+        rows.append((threshold, row))
+    return rows
+
+
+def test_ablation_cost_threshold(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit(
+        "ablation_cost_threshold",
+        ascii_table(
+            ["threshold c", "nodes rebuilt", "promoted keys", "improvement %"],
+            [
+                [t, row.nodes_rebuilt, row.promoted_keys, row.query_improvement_pct]
+                for t, row in results
+            ],
+        ),
+    )
+
+    rebuilds = [row.nodes_rebuilt for __, row in results]
+    promoted = [row.promoted_keys for __, row in results]
+    # Stricter thresholds rebuild (weakly) fewer subtrees and promote
+    # (weakly) fewer keys.
+    assert rebuilds == sorted(rebuilds, reverse=True), rebuilds
+    assert promoted == sorted(promoted, reverse=True), promoted
+    # The permissive default must achieve something on genome.
+    assert rebuilds[0] > 0

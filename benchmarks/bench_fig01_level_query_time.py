@@ -1,0 +1,43 @@
+"""Fig. 1 — average query time per LIPP level on the four datasets.
+
+Paper shape: query time grows with the level at which a key is
+stored; deeper levels (created for harder key-space regions) are
+slower on every dataset.
+"""
+
+from __future__ import annotations
+
+from _shared import DATASET_NAMES, bench_n, emit
+
+from repro.evaluation.reporting import ascii_table
+from repro.evaluation.runner import run_level_query_times
+
+
+def compute():
+    rows = {}
+    for dataset in DATASET_NAMES:
+        rows[dataset] = run_level_query_times("lipp", dataset, n=bench_n())
+    return rows
+
+
+def test_fig01_level_query_time(benchmark):
+    per_dataset = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table_rows = []
+    for dataset, rows in per_dataset.items():
+        for row in rows:
+            table_rows.append(
+                [dataset, row.level, row.n_keys_at_level, row.avg_simulated_ns]
+            )
+    emit(
+        "fig01_level_query_time",
+        ascii_table(
+            ["dataset", "level", "keys at level", "avg query (sim ns)"], table_rows
+        ),
+    )
+
+    for dataset, rows in per_dataset.items():
+        costs = [r.avg_simulated_ns for r in rows]
+        # Paper shape: deeper level → strictly higher average time.
+        assert costs == sorted(costs), f"{dataset}: levels not monotone {costs}"
+        assert len(rows) >= 2, f"{dataset}: index should have >= 2 levels"

@@ -1,0 +1,47 @@
+"""Fig. 3 — loss value for every candidate virtual-point value.
+
+Paper shape: the loss curve over the free values forms per-gap
+sub-sequences; every candidate beats no-insertion in some gaps and
+the global minimum sits inside the largest sparse gap (value 23 in
+the paper's example, the 14-22 gap in our toy set).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _shared import emit
+
+from repro.core.candidates import loss_curve
+from repro.core.loss import fit_and_loss
+from repro.core.segment_stats import SegmentStats
+from repro.datasets import FIG2_TOY_KEYS
+from repro.evaluation.reporting import ascii_table
+
+
+def compute():
+    stats = SegmentStats(FIG2_TOY_KEYS)
+    values, losses = loss_curve(stats)
+    __, base_loss = fit_and_loss(FIG2_TOY_KEYS)
+    return values, losses, base_loss
+
+
+def test_fig03_loss_curve(benchmark):
+    values, losses, base_loss = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit(
+        "fig03_loss_curve",
+        ascii_table(
+            ["virtual point value", "loss if inserted"],
+            [[int(v), float(l)] for v, l in zip(values, losses)],
+        )
+        + f"\noriginal key set loss: {base_loss:.3f}",
+    )
+
+    best = int(values[np.argmin(losses)])
+    # Global minimum inside the large sparse gap (Fig. 3's kv1).
+    assert 14 <= best <= 22
+    # The best insertion strictly reduces the loss.
+    assert losses.min() < base_loss
+    # Curve covers every free value between min and max key:
+    # (29 - 2 - 1) interior integers minus the 8 interior keys.
+    assert values.size == 18

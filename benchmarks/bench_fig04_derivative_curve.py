@@ -1,0 +1,49 @@
+"""Fig. 4 — first-order partial derivative of the loss per candidate.
+
+Paper shape: within the sub-sequence containing the optimal virtual
+point the derivative crosses zero (negative then positive); the
+filter therefore keeps only the crossing point for such gaps and only
+the endpoints elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _shared import emit
+
+from repro.core.candidates import derivative_curve, loss_curve
+from repro.core.segment_stats import SegmentStats
+from repro.datasets import FIG2_TOY_KEYS
+from repro.evaluation.reporting import ascii_table
+
+
+def compute():
+    stats = SegmentStats(FIG2_TOY_KEYS)
+    dvalues, derivs = derivative_curve(stats)
+    lvalues, losses = loss_curve(stats)
+    return dvalues, derivs, lvalues, losses
+
+
+def test_fig04_derivative_curve(benchmark):
+    dvalues, derivs, lvalues, losses = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit(
+        "fig04_derivative_curve",
+        ascii_table(
+            ["virtual point value", "dLoss/dValue"],
+            [[int(v), float(d)] for v, d in zip(dvalues, derivs)],
+        ),
+    )
+
+    assert np.array_equal(dvalues, lvalues)
+    best = int(lvalues[np.argmin(losses)])
+    # Sign change brackets the optimum inside its gap (14..22).
+    gap_mask = (dvalues >= 14) & (dvalues <= 22)
+    gap_derivs = derivs[gap_mask]
+    assert gap_derivs.min() < 0 < gap_derivs.max()
+    # The derivative is negative just before the minimum and
+    # non-negative after it.
+    before = derivs[(dvalues >= 14) & (dvalues < best)]
+    after = derivs[(dvalues > best) & (dvalues <= 22)]
+    assert np.all(before <= 0)
+    assert np.all(after >= 0)

@@ -1,0 +1,60 @@
+"""Fig. 5 — dataset CDFs, global and zoomed-in.
+
+Paper shape: all datasets except OSM are close to globally linear;
+zoomed in, Covid stays linear while Facebook shows variability and
+OSM/Genome deviate strongly (Genome most step-like locally).
+"""
+
+from __future__ import annotations
+
+from _shared import DATASET_NAMES, bench_n, emit
+
+from repro.datasets import load, local_linearity_profile, summarize, zoomed_window
+from repro.evaluation.reporting import ascii_table
+
+
+def compute():
+    summaries = {}
+    zoomed = {}
+    for name in DATASET_NAMES:
+        keys = load(name, bench_n())
+        summaries[name] = summarize(name, keys, window=min(1000, bench_n() // 10))
+        window = zoomed_window(keys, start_fraction=0.5, width=min(1000, bench_n() // 10))
+        zoomed[name] = float(local_linearity_profile(window, window=window.size).mean())
+    return summaries, zoomed
+
+
+def test_fig05_dataset_cdfs(benchmark):
+    summaries, zoomed = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit(
+        "fig05_dataset_cdfs",
+        ascii_table(
+            ["dataset", "global R2", "local R2 (mean)", "local R2 (min)", "PLA segments", "zoomed R2"],
+            [
+                [
+                    name,
+                    s.global_r2,
+                    s.local_r2_mean,
+                    s.local_r2_min,
+                    s.pla_segments,
+                    zoomed[name],
+                ]
+                for name, s in summaries.items()
+            ],
+        ),
+    )
+
+    # Global: OSM is the least linear dataset (Fig. 5c).
+    assert summaries["osm"].global_r2 == min(s.global_r2 for s in summaries.values())
+    # All others are near-linear globally (Figs. 5a/5b/5d).
+    for name in ("facebook", "covid", "genome"):
+        assert summaries[name].global_r2 > 0.98, name
+    # Local: Covid stays linear; the hard datasets deviate (Figs. 5e-5h).
+    assert summaries["covid"].local_r2_mean > 0.99
+    assert summaries["osm"].local_r2_mean < summaries["covid"].local_r2_mean
+    assert summaries["genome"].local_r2_mean < summaries["facebook"].local_r2_mean
+    # Hardness ranking by PLA segments: easy < hard.
+    easy_max = max(summaries["facebook"].pla_segments, summaries["covid"].pla_segments)
+    hard_min = min(summaries["osm"].pla_segments, summaries["genome"].pla_segments)
+    assert easy_max < hard_min

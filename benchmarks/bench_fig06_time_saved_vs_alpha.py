@@ -1,0 +1,56 @@
+"""Fig. 6 — total query time saved vs smoothing threshold α.
+
+Paper shape: more virtual points save more total time; the easy
+datasets (Facebook/Covid) saturate once their CDF is already straight,
+while the hard datasets keep gaining; LIPP and SALI behave alike.
+"""
+
+from __future__ import annotations
+
+from _shared import ALPHAS, DATASET_NAMES, FAMILIES, alpha_sweep, emit
+
+from repro.evaluation.reporting import ascii_table
+
+
+def compute():
+    return {
+        family: {dataset: alpha_sweep(family, dataset) for dataset in DATASET_NAMES}
+        for family in FAMILIES
+    }
+
+
+def test_fig06_time_saved_vs_alpha(benchmark):
+    sweeps = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for family, per_dataset in sweeps.items():
+        for dataset, series in per_dataset.items():
+            rows.append(
+                [family, dataset] + [r.total_time_saved_ns for r in series]
+            )
+    emit(
+        "fig06_time_saved_vs_alpha",
+        ascii_table(
+            ["index", "dataset"] + [f"a={a}" for a in ALPHAS], rows
+        ),
+    )
+
+    for family, per_dataset in sweeps.items():
+        saved_any = False
+        for dataset, series in per_dataset.items():
+            saved = [r.total_time_saved_ns for r in series]
+            # Time saved is non-negative at every α.
+            assert all(s >= 0.0 for s in saved), (family, dataset, saved)
+            if max(saved) > 0:
+                saved_any = True
+                # Larger budgets never collapse the savings to a
+                # fraction of the small-budget result (allow noise).
+                assert saved[-1] >= 0.3 * saved[0], (family, dataset, saved)
+        assert saved_any, f"{family}: CSV saved no time on any dataset"
+
+    # LIPP and SALI behave alike (SALI is LIPP-based; Section 6.2.1).
+    for dataset in DATASET_NAMES:
+        lipp_saved = sum(r.total_time_saved_ns for r in sweeps["lipp"][dataset])
+        sali_saved = sum(r.total_time_saved_ns for r in sweeps["sali"][dataset])
+        if lipp_saved > 0:
+            assert sali_saved > 0, dataset

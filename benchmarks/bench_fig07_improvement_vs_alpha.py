@@ -1,0 +1,53 @@
+"""Fig. 7 — query time improvement (%) over the promoted keys vs α.
+
+Paper shape: CSV yields consistent improvements up to 34%, strongest
+on LIPP/SALI (pure traversal reduction), smaller but positive on ALEX
+(its leaf search offsets part of the gain).
+"""
+
+from __future__ import annotations
+
+from _shared import ALPHAS, DATASET_NAMES, FAMILIES, alpha_sweep, emit
+
+from repro.evaluation.reporting import ascii_table
+
+
+def compute():
+    return {
+        family: {dataset: alpha_sweep(family, dataset) for dataset in DATASET_NAMES}
+        for family in FAMILIES
+    }
+
+
+def test_fig07_improvement_vs_alpha(benchmark):
+    sweeps = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for family, per_dataset in sweeps.items():
+        for dataset, series in per_dataset.items():
+            rows.append(
+                [family, dataset] + [r.query_improvement_pct for r in series]
+            )
+    emit(
+        "fig07_improvement_vs_alpha",
+        ascii_table(["index", "dataset"] + [f"a={a}" for a in ALPHAS], rows),
+    )
+
+    best = {}
+    for family, per_dataset in sweeps.items():
+        improvements = [
+            r.query_improvement_pct
+            for series in per_dataset.values()
+            for r in series
+            if r.promoted_keys > 0
+        ]
+        assert improvements, f"{family}: nothing promoted anywhere"
+        # Promoted keys are consistently faster (paper: consistent
+        # improvements on all three indexes).
+        assert max(improvements) > 5.0, family
+        assert min(improvements) > -5.0, family  # never materially worse
+        best[family] = max(improvements)
+
+    # Strongest gains on the traversal-only indexes (paper: LIPP/SALI
+    # benefit more than ALEX).
+    assert max(best["lipp"], best["sali"]) >= best["alex"] * 0.8

@@ -1,0 +1,50 @@
+"""Fig. 9 — total query time saved vs dataset cardinality.
+
+Paper shape: the total time saved grows with dataset size on all
+indexes (more deep keys exist to promote), growing fastest on the
+easy datasets once they are large enough to have deep levels at all.
+"""
+
+from __future__ import annotations
+
+from _shared import DATASET_NAMES, FAMILIES, cardinality_sweep, emit
+
+from repro.evaluation.reporting import ascii_table
+
+
+def compute():
+    return {
+        family: {dataset: cardinality_sweep(family, dataset) for dataset in DATASET_NAMES}
+        for family in FAMILIES
+    }
+
+
+def test_fig09_time_saved_vs_cardinality(benchmark):
+    sweeps = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for family, per_dataset in sweeps.items():
+        for dataset, series in per_dataset.items():
+            rows.append(
+                [family, dataset]
+                + [f"n={r.n}: {r.total_time_saved_ns:.3g}" for r in series]
+            )
+    emit(
+        "fig09_time_saved_vs_cardinality",
+        ascii_table(["index", "dataset", "s1", "s2", "s3", "s4"], rows),
+    )
+
+    for family, per_dataset in sweeps.items():
+        for dataset, series in per_dataset.items():
+            saved = [r.total_time_saved_ns for r in series]
+            assert all(s >= 0 for s in saved), (family, dataset)
+            # Shape: savings never collapse as n grows (ALEX's merged
+            # nodes add search-noise, so allow a bounded dip).
+            assert saved[-1] >= 0.4 * saved[0], (family, dataset, saved)
+        # Growth with cardinality holds on at least half the datasets
+        # per family (the paper's Fig. 9 trend).
+        grew = sum(
+            series[-1].total_time_saved_ns > series[0].total_time_saved_ns
+            for series in per_dataset.values()
+        )
+        assert grew >= 2, f"{family}: growth on only {grew}/4 datasets"

@@ -1,0 +1,80 @@
+"""Fig. 10 — read-write workload: time saved, storage, insert time.
+
+Paper shape (LIPP and ALEX, α = 0.1): the query time saved decreases
+slightly as inserted keys collide with promoted ones; the storage
+overhead shrinks batch by batch because inserts fill the virtual-point
+gaps; insertion times stay on par with the original index (within
+±~30%).
+"""
+
+from __future__ import annotations
+
+from _shared import DATASET_NAMES, bench_n, emit
+
+from repro.evaluation.reporting import ascii_table
+from repro.evaluation.runner import run_readwrite_experiment
+
+
+def compute():
+    results = {}
+    for family in ("lipp", "alex"):
+        for dataset in DATASET_NAMES:
+            results[(family, dataset)] = run_readwrite_experiment(
+                family, dataset, n=bench_n(), alpha=0.1, n_batches=5
+            )
+    return results
+
+
+def test_fig10_readwrite(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for (family, dataset), observations in results.items():
+        for obs in observations:
+            rows.append(
+                [
+                    family,
+                    dataset,
+                    obs.batch_index,
+                    obs.total_time_saved_ns,
+                    obs.storage_increase_pct,
+                    obs.insert_time_increase_pct if obs.batch_index else 0.0,
+                ]
+            )
+    emit(
+        "fig10_readwrite",
+        ascii_table(
+            ["index", "dataset", "batch", "time saved (ns)", "storage +%", "insert +%"],
+            rows,
+        ),
+    )
+
+    for (family, dataset), observations in results.items():
+        initial = observations[0]
+        final = observations[-1]
+        # CSV's advantage on the promoted keys exists before inserts...
+        assert initial.total_time_saved_ns >= 0.0, (family, dataset)
+        # ...and never turns into a large regression after them.
+        assert (
+            final.enhanced_profile.avg_simulated_ns
+            <= final.original_profile.avg_simulated_ns * 1.15
+        ), (family, dataset)
+        # Storage: the paper reports the overhead staying at or below
+        # ~10% throughout the batches (it shrinks as inserts fill the
+        # virtual gaps).  Our slot-frugal LIPP baseline starts near 0%
+        # so the *trend* can differ (see EXPERIMENTS.md); the robust
+        # claim is that the overhead stays small at every batch.
+        for obs in observations:
+            assert obs.storage_increase_pct <= 15.0, (
+                family,
+                dataset,
+                obs.batch_index,
+                obs.storage_increase_pct,
+            )
+        # Insert throughput on par (paper: within tens of percent).
+        for obs in observations[1:]:
+            assert obs.enhanced_insert_seconds <= obs.original_insert_seconds * 3.0, (
+                family,
+                dataset,
+                obs.batch_index,
+            )

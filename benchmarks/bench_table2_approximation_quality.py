@@ -1,0 +1,52 @@
+"""Table 2 — greedy (CSV) vs exhaustive smoothing quality and time.
+
+Paper numbers on the 10-key example at α = 0.5: loss 8.327 → 2.293
+(greedy) vs 2.118 (exhaustive); the exhaustive search takes ~3 orders
+of magnitude longer.  Shape: greedy within a few percent of optimal,
+exhaustive vastly slower.
+"""
+
+from __future__ import annotations
+
+from _shared import emit
+
+from repro.core.smoothing import smooth_keys, smooth_keys_exhaustive
+from repro.datasets import FIG2_TOY_KEYS
+from repro.evaluation.reporting import ascii_table
+
+
+def compute():
+    greedy = smooth_keys(FIG2_TOY_KEYS, alpha=0.5)
+    exhaustive = smooth_keys_exhaustive(FIG2_TOY_KEYS, alpha=0.5)
+    return greedy, exhaustive
+
+
+def test_table2_approximation_quality(benchmark):
+    greedy, exhaustive = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit(
+        "table2_approximation_quality",
+        ascii_table(
+            ["", "Exhaustive", "CSV (greedy)", "Original"],
+            [
+                ["Loss", exhaustive.final_loss, greedy.final_loss, greedy.original_loss],
+                [
+                    "Time (s)",
+                    exhaustive.elapsed_seconds,
+                    greedy.elapsed_seconds,
+                    "N/A",
+                ],
+            ],
+        ),
+    )
+
+    # Shape checks mirroring the paper's Table 2:
+    assert exhaustive.final_loss <= greedy.final_loss + 1e-9
+    greedy_improvement = greedy.loss_improvement_pct
+    exhaustive_improvement = exhaustive.loss_improvement_pct
+    assert greedy_improvement > 70.0          # paper: 72.34 %
+    assert exhaustive_improvement > greedy_improvement - 1e-9  # paper: 74.44 %
+    assert exhaustive_improvement - greedy_improvement < 10.0  # near-optimal greedy
+    # Exhaustive is orders of magnitude slower (paper: ~330x; we
+    # require >= 30x to stay robust across machines).
+    assert exhaustive.elapsed_seconds > 30 * max(greedy.elapsed_seconds, 1e-6)

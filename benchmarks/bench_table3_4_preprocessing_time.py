@@ -1,0 +1,48 @@
+"""Tables 3 & 4 — CSV pre-processing time for LIPP and ALEX.
+
+Paper shape: pre-processing time grows with α (more virtual points to
+search) and varies across datasets with their learning difficulty;
+these are one-off costs amortised by query savings.
+"""
+
+from __future__ import annotations
+
+from _shared import ALPHAS, DATASET_NAMES, alpha_sweep, emit
+
+from repro.evaluation.reporting import ascii_table
+
+
+def compute():
+    return {
+        family: {dataset: alpha_sweep(family, dataset) for dataset in DATASET_NAMES}
+        for family in ("lipp", "alex")
+    }
+
+
+def test_table3_4_preprocessing_time(benchmark):
+    sweeps = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    for family, table_name in (("lipp", "table3"), ("alex", "table4")):
+        rows = [
+            [dataset] + [r.preprocessing_seconds for r in sweeps[family][dataset]]
+            for dataset in DATASET_NAMES
+        ]
+        emit(
+            f"{table_name}_preprocessing_time_{family}",
+            ascii_table(["dataset"] + [f"a={a}" for a in ALPHAS], rows),
+        )
+
+    for family, per_dataset in sweeps.items():
+        for dataset, series in per_dataset.items():
+            times = [r.preprocessing_seconds for r in series]
+            assert all(t > 0 for t in times), (family, dataset)
+            # Larger α must not be dramatically cheaper than the
+            # smallest α (the paper's growth trend, with slack for
+            # early-stopping on easy datasets).
+            assert times[-1] >= 0.5 * times[0], (family, dataset, times)
+        # Hard datasets cost at least as much as the easiest dataset
+        # at the default α (paper: OSM/Genome dominate the tables).
+        at_default = {d: s[1].preprocessing_seconds for d, s in per_dataset.items()}
+        assert max(at_default["osm"], at_default["genome"]) >= min(
+            at_default["facebook"], at_default["covid"]
+        ), (family, at_default)

@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Benches run with ``pytest benchmarks/ --benchmark-only``.  Each test
+wraps its figure/table computation in ``benchmark.pedantic(...,
+rounds=1)`` — the computation *is* the measured workload — and prints
+plus persists the reproduced table under ``results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling `_shared` module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,63 @@
+"""Read-write workload: virtual-point gaps absorbing insertions.
+
+Run with::
+
+    python examples/readwrite_resilience.py [n_keys]
+
+Reproduces the Section 6.3 protocol on the Facebook analogue: build
+LIPP on half the keys, apply CSV once, insert the other half in 0.1n
+batches into both the enhanced and the original index, and watch the
+three Fig. 10 quantities — query time saved, storage overhead, and
+insertion-time ratio — evolve per batch.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.evaluation import ascii_table
+from repro.evaluation.runner import run_readwrite_experiment
+
+
+def main(n: int = 12_000) -> None:
+    print(f"dataset: facebook analogue, {n} keys; LIPP; alpha = 0.1")
+    print("protocol: build on n/2 keys -> CSV once -> 5 batches of 0.1(n/2) inserts\n")
+
+    observations = run_readwrite_experiment("lipp", "facebook", n=n, alpha=0.1)
+
+    rows = []
+    for obs in observations:
+        rows.append(
+            [
+                obs.batch_index,
+                obs.inserted_so_far,
+                f"{obs.total_time_saved_ns:,.0f}",
+                f"{obs.enhanced_profile.avg_simulated_ns:.0f}",
+                f"{obs.original_profile.avg_simulated_ns:.0f}",
+                f"{obs.storage_increase_pct:+.2f}%",
+                f"{obs.insert_time_increase_pct:+.0f}%" if obs.batch_index else "-",
+            ]
+        )
+    print(
+        ascii_table(
+            [
+                "batch",
+                "inserted",
+                "time saved (ns)",
+                "enhanced avg ns",
+                "original avg ns",
+                "storage",
+                "insert time",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe enhanced index keeps its query advantage on the promoted keys\n"
+        "throughout the batches; inserts are absorbed by the gaps the\n"
+        "virtual points reserved (the paper's 'side benefit', Section 2.3)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12_000)

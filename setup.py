@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable
+installs (`pip install -e .`) work on offline machines whose pip cannot
+bootstrap PEP 660 build isolation.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``datasets``  — list the synthetic datasets and their CDF hardness.
+* ``smooth``    — run Algorithm 1 on a dataset (or a saved ``.npz``).
+* ``build``     — build an index and print its structure.
+* ``csv``       — run one CSV experiment (build → optimise → measure).
+* ``levels``    — per-level query costs (the Fig. 1 view).
+
+Examples::
+
+    python -m repro datasets --n 20000
+    python -m repro smooth --dataset genome --n 5000 --alpha 0.2
+    python -m repro build --index lipp --dataset osm --n 10000
+    python -m repro csv --index alex --dataset facebook --alpha 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.smoothing import smooth_keys
+from .datasets import DATASETS, load, summarize
+from .evaluation import ascii_table, run_csv_experiment, run_level_query_times
+from .indexes import INDEX_FAMILIES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learned indexes with distribution smoothing via virtual points",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets", help="list datasets and hardness")
+    p_datasets.add_argument("--n", type=int, default=10_000)
+
+    p_smooth = sub.add_parser("smooth", help="run Algorithm 1 on a dataset")
+    p_smooth.add_argument("--dataset", choices=sorted(DATASETS), default="genome")
+    p_smooth.add_argument("--n", type=int, default=5_000)
+    p_smooth.add_argument("--alpha", type=float, default=0.1)
+    p_smooth.add_argument("--keys-file", help=".npz with a 'keys' array (overrides --dataset)")
+    p_smooth.add_argument("--save", help="write the smoothing result to this .npz")
+
+    p_build = sub.add_parser("build", help="build an index, print structure")
+    p_build.add_argument("--index", choices=sorted(INDEX_FAMILIES), default="lipp")
+    p_build.add_argument("--dataset", choices=sorted(DATASETS), default="facebook")
+    p_build.add_argument("--n", type=int, default=10_000)
+
+    p_csv = sub.add_parser("csv", help="run one CSV experiment")
+    p_csv.add_argument("--index", choices=["lipp", "sali", "alex"], default="lipp")
+    p_csv.add_argument("--dataset", choices=sorted(DATASETS), default="facebook")
+    p_csv.add_argument("--n", type=int, default=10_000)
+    p_csv.add_argument("--alpha", type=float, default=0.1)
+    p_csv.add_argument("--export", help="append the result row to this CSV file")
+
+    p_levels = sub.add_parser("levels", help="per-level query cost (Fig. 1 view)")
+    p_levels.add_argument("--index", choices=["lipp", "sali", "alex"], default="lipp")
+    p_levels.add_argument("--dataset", choices=sorted(DATASETS), default="genome")
+    p_levels.add_argument("--n", type=int, default=10_000)
+
+    return parser
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(DATASETS):
+        keys = load(name, args.n)
+        s = summarize(name, keys)
+        rows.append(
+            [name, s.n, f"{s.global_r2:.4f}", f"{s.local_r2_mean:.4f}", s.pla_segments]
+        )
+    print(
+        ascii_table(
+            ["dataset", "keys", "global R2", "local R2", "PLA segments"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_smooth(args: argparse.Namespace) -> int:
+    if args.keys_file:
+        from .io import load_keys
+
+        keys, __ = load_keys(args.keys_file)
+        source = args.keys_file
+    else:
+        keys = load(args.dataset, args.n)
+        source = f"{args.dataset} analogue"
+    result = smooth_keys(keys, alpha=args.alpha)
+    print(f"source: {source} ({keys.size} keys), alpha={args.alpha}")
+    print(f"virtual points inserted: {result.n_virtual} / budget {result.budget}")
+    print(f"loss: {result.original_loss:,.1f} -> {result.final_loss:,.1f} "
+          f"({result.loss_improvement_pct:.1f}% better)")
+    print(f"elapsed: {result.elapsed_seconds:.2f}s"
+          + ("  (stopped early: no further gain)" if result.stopped_early else ""))
+    if args.save:
+        from .io import save_smoothing_result
+
+        path = save_smoothing_result(args.save, result)
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    keys = load(args.dataset, args.n)
+    index = INDEX_FAMILIES[args.index].build(keys)
+    print(f"{args.index} over {keys.size} {args.dataset} keys:")
+    print(f"  height:     {index.height()}")
+    print(f"  nodes:      {index.node_count()}")
+    print(f"  size:       {index.size_bytes() / 1024:.1f} KiB")
+    histogram = getattr(index, "level_histogram", None)
+    if histogram is not None:
+        print(f"  keys/level: {histogram()}")
+    return 0
+
+
+def _cmd_csv(args: argparse.Namespace) -> int:
+    row = run_csv_experiment(args.index, args.dataset, n=args.n, alpha=args.alpha)
+    print(
+        ascii_table(
+            ["metric", "value"],
+            [
+                ["index / dataset", f"{row.index_family} / {row.dataset}"],
+                ["keys", row.n],
+                ["alpha", row.alpha],
+                ["height", f"{row.height_before} -> {row.height_after}"],
+                ["promoted keys", f"{row.promoted_keys} ({row.promoted_pct:.1f}% of promotable)"],
+                ["query improvement", f"{row.query_improvement_pct:.1f}%"],
+                ["total time saved", f"{row.total_time_saved_ns:,.0f} sim-ns"],
+                ["storage change", f"{row.storage_increase_pct:+.1f}%"],
+                ["node reduction", f"{row.node_reduction_pct:.1f}%"],
+                ["CSV preprocessing", f"{row.preprocessing_seconds:.2f}s"],
+            ],
+        )
+    )
+    if args.export:
+        from .io import export_rows_csv
+
+        export_rows_csv(args.export, [row])
+        print(f"row exported to {args.export}")
+    return 0
+
+
+def _cmd_levels(args: argparse.Namespace) -> int:
+    rows = run_level_query_times(args.index, args.dataset, n=args.n)
+    print(
+        ascii_table(
+            ["level", "keys", "avg query (sim ns)"],
+            [[r.level, r.n_keys_at_level, r.avg_simulated_ns] for r in rows],
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "smooth": _cmd_smooth,
+    "build": _cmd_build,
+    "csv": _cmd_csv,
+    "levels": _cmd_levels,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

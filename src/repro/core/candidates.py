@@ -1,0 +1,105 @@
+"""Candidate virtual-point enumeration and filtering (Section 4.2).
+
+Candidates are integer values strictly inside ``(min K, max K)`` that
+do not collide with an existing point:
+
+* values below ``min K`` shift every rank uniformly and cannot improve
+  the fit;
+* values above ``max K`` change no rank at all;
+* existing key values are skipped for compatibility with indexes that
+  reject duplicates (LIPP, SALI).
+
+Maximal runs of free integers between two adjacent points form the
+paper's *sub-sequences*.  :func:`enumerate_gaps` yields one
+:class:`~repro.core.derivative.GapContext` per sub-sequence and
+:func:`filtered_candidates` applies the derivative-based filter of
+Algorithm 1 to produce the (much smaller) candidate set.  A vectorised
+variant used by the greedy smoother lives in
+:mod:`repro.core.smoothing`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .derivative import GapContext
+from .segment_stats import SegmentStats
+
+__all__ = [
+    "enumerate_gaps",
+    "filtered_candidates",
+    "all_free_values",
+    "loss_curve",
+    "derivative_curve",
+]
+
+
+def enumerate_gaps(stats: SegmentStats) -> Iterator[GapContext]:
+    """Yield a :class:`GapContext` for every non-empty sub-sequence.
+
+    The gap between adjacent points ``p_i < p_{i+1}`` is non-empty when
+    ``p_{i+1} - p_i >= 2``; its free values are ``p_i+1 .. p_{i+1}-1``
+    and every one of them has insertion rank ``i + 1``.
+    """
+    points = stats.points
+    for i in range(points.size - 1):
+        low = int(points[i]) + 1
+        high = int(points[i + 1]) - 1
+        if high >= low:
+            yield GapContext.from_stats(stats, low, high, i + 1)
+
+
+def filtered_candidates(stats: SegmentStats) -> list[tuple[int, float]]:
+    """Derivative-filtered ``(value, loss)`` candidates over all gaps.
+
+    This is the scalar reference implementation of the filtering in
+    Algorithm 1 (Lines 6-22); the greedy loop uses the vectorised
+    equivalent.  Candidates are unique and sorted by value.
+    """
+    out: dict[int, float] = {}
+    for gap in enumerate_gaps(stats):
+        for value in gap.candidate_values():
+            if value not in out:
+                out[value] = gap.loss(value)
+    return sorted(out.items())
+
+
+def all_free_values(stats: SegmentStats) -> np.ndarray:
+    """Every admissible candidate value (no filtering).
+
+    Used by the exhaustive solver (Table 2) and the filtering ablation.
+    The result can be large: it has ``max K - min K + 1 - n`` entries.
+    """
+    lo = stats.key_min
+    hi = stats.key_max
+    universe = np.arange(lo + 1, hi, dtype=np.int64)
+    mask = np.ones(universe.size, dtype=bool)
+    inner = stats.points[(stats.points > lo) & (stats.points < hi)]
+    mask[inner - (lo + 1)] = False
+    return universe[mask]
+
+
+def loss_curve(stats: SegmentStats) -> tuple[np.ndarray, np.ndarray]:
+    """``(values, losses)`` over every free value — reproduces Fig. 3.
+
+    Each point of the curve is the refitted SSE if a single virtual
+    point took that value; gaps in the curve at existing keys appear as
+    discontinuities in the value axis.
+    """
+    values = all_free_values(stats)
+    ranks = np.searchsorted(stats.points, values, side="left")
+    losses = stats.evaluate_many(values, ranks)
+    return values, losses
+
+
+def derivative_curve(stats: SegmentStats) -> tuple[np.ndarray, np.ndarray]:
+    """``(values, dL/dvalue)`` over every free value — reproduces Fig. 4."""
+    values: list[int] = []
+    derivs: list[float] = []
+    for gap in enumerate_gaps(stats):
+        for value in range(gap.low, gap.high + 1):
+            values.append(value)
+            derivs.append(gap.derivative(value))
+    return np.asarray(values, dtype=np.int64), np.asarray(derivs, dtype=np.float64)

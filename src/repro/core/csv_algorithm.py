@@ -1,0 +1,195 @@
+"""CSV — CDF Smoothing via Virtual points for hierarchies (Algorithm 2).
+
+CSV walks a *constructed* hierarchical learned index bottom-up.  For
+every node that roots a subtree it:
+
+1. collects the keys stored in the node and its descendants,
+2. smooths their CDF with Algorithm 1
+   (:func:`repro.core.smoothing.smooth_keys`),
+3. evaluates a cost condition (loss reduction for LIPP/SALI, the
+   Eq. 22 cost model for ALEX), and
+4. if the condition passes, rebuilds the subtree as a single node whose
+   slot layout follows the smoothed point set — the virtual points
+   materialise as gaps that later absorb insertions.
+
+The engine is index-agnostic: concrete indexes plug in through the
+:class:`CsvAdapter` protocol implemented in
+:mod:`repro.indexes.adapters`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from .exceptions import SmoothingBudgetError
+from .smoothing import SmoothingResult, smooth_keys
+
+__all__ = ["CsvAdapter", "CsvConfig", "CsvNodeRecord", "CsvReport", "apply_csv"]
+
+
+@runtime_checkable
+class CsvAdapter(Protocol):
+    """What an index must expose for Algorithm 2 to optimise it.
+
+    A *handle* is an adapter-chosen opaque reference to one node that
+    roots a subtree (never the index root itself).  Handles from one
+    level must stay valid until that level's pass completes; rebuilds
+    happen only through :meth:`rebuild`.
+    """
+
+    def max_level(self) -> int:
+        """Deepest level (root = 1) that contains subtree-rooting nodes."""
+        ...
+
+    def subtree_handles(self, level: int) -> Iterable[Any]:
+        """Nodes at *level* that currently root a subtree."""
+        ...
+
+    def collect_keys(self, handle: Any) -> np.ndarray:
+        """All keys stored in the node and its descendants, sorted."""
+        ...
+
+    def cost_delta(self, handle: Any, smoothing: SmoothingResult) -> float:
+        """Modelled cost change of rebuilding this subtree (Section 5.1).
+
+        Negative = improvement.  LIPP/SALI adapters return the loss
+        change; the ALEX adapter prices Eq. 22.
+        """
+        ...
+
+    def rebuild(self, handle: Any, smoothing: SmoothingResult) -> int:
+        """Replace the subtree with a merged node; return promoted keys."""
+        ...
+
+
+@dataclass(frozen=True)
+class CsvConfig:
+    """Tuning knobs of Algorithm 2.
+
+    Attributes:
+        alpha: smoothing threshold passed to Algorithm 1 (default 0.1,
+            the paper's default).
+        cost_threshold: rebuild when ``cost_delta < cost_threshold``;
+            the paper recommends values below 0 for ALEX-like indexes.
+        start_level: level at which the bottom-up pass starts.  ``None``
+            means the adapter's deepest subtree level.  The paper starts
+            LIPP/SALI at level 2 (big subtrees) and ALEX at the bottom.
+        stop_level: the pass handles levels strictly deeper than this;
+            2 reproduces the paper ("CSV stops at the second level from
+            the top"), i.e. children of the root are the last handles.
+        max_subtree_keys: skip subtrees bigger than this many keys (a
+            practical guard; ``None`` disables it).
+        min_subtree_keys: skip trivial subtrees below this size.
+    """
+
+    alpha: float = 0.1
+    cost_threshold: float = 0.0
+    start_level: int | None = None
+    stop_level: int = 2
+    max_subtree_keys: int | None = None
+    min_subtree_keys: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise SmoothingBudgetError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.stop_level < 1:
+            raise SmoothingBudgetError("stop_level must be >= 1")
+
+
+@dataclass(frozen=True)
+class CsvNodeRecord:
+    """Audit record for one subtree CSV examined."""
+
+    level: int
+    n_keys: int
+    loss_before: float
+    loss_after: float
+    n_virtual: int
+    cost_delta: float
+    rebuilt: bool
+    promoted_keys: int
+
+
+@dataclass
+class CsvReport:
+    """Outcome of one :func:`apply_csv` run."""
+
+    config: CsvConfig
+    records: list[CsvNodeRecord] = field(default_factory=list)
+    preprocessing_seconds: float = 0.0
+
+    @property
+    def nodes_examined(self) -> int:
+        return len(self.records)
+
+    @property
+    def nodes_rebuilt(self) -> int:
+        return sum(1 for r in self.records if r.rebuilt)
+
+    @property
+    def keys_promoted(self) -> int:
+        return sum(r.promoted_keys for r in self.records if r.rebuilt)
+
+    @property
+    def virtual_points_inserted(self) -> int:
+        return sum(r.n_virtual for r in self.records if r.rebuilt)
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for reporting tables."""
+        return {
+            "nodes_examined": self.nodes_examined,
+            "nodes_rebuilt": self.nodes_rebuilt,
+            "keys_promoted": self.keys_promoted,
+            "virtual_points": self.virtual_points_inserted,
+            "preprocessing_seconds": self.preprocessing_seconds,
+        }
+
+
+def apply_csv(adapter: CsvAdapter, config: CsvConfig | None = None) -> CsvReport:
+    """Algorithm 2: optimise a built index by bottom-up CDF smoothing.
+
+    Walks levels from ``config.start_level`` (default: the deepest
+    subtree level) up to, and including, ``config.stop_level``.  At
+    each level every subtree-rooting node is smoothed and, when the
+    cost condition passes, rebuilt in place via the adapter.
+
+    Returns a :class:`CsvReport` with one record per node examined.
+    """
+    cfg = config or CsvConfig()
+    report = CsvReport(config=cfg)
+    start_time = time.perf_counter()
+    deepest = adapter.max_level()
+    current_level = deepest if cfg.start_level is None else min(cfg.start_level, deepest)
+    while current_level >= cfg.stop_level:
+        handles = list(adapter.subtree_handles(current_level))
+        for handle in handles:
+            keys = adapter.collect_keys(handle)
+            if keys.size < cfg.min_subtree_keys:
+                continue
+            if cfg.max_subtree_keys is not None and keys.size > cfg.max_subtree_keys:
+                continue
+            smoothing = smooth_keys(keys, alpha=cfg.alpha)
+            delta = adapter.cost_delta(handle, smoothing)
+            rebuilt = delta < cfg.cost_threshold
+            promoted = 0
+            if rebuilt:
+                promoted = adapter.rebuild(handle, smoothing)
+            report.records.append(
+                CsvNodeRecord(
+                    level=current_level,
+                    n_keys=int(keys.size),
+                    loss_before=smoothing.original_loss,
+                    loss_after=smoothing.final_loss,
+                    n_virtual=smoothing.n_virtual,
+                    cost_delta=float(delta),
+                    rebuilt=rebuilt,
+                    promoted_keys=int(promoted),
+                )
+            )
+        current_level -= 1
+    report.preprocessing_seconds = time.perf_counter() - start_time
+    return report

@@ -1,0 +1,175 @@
+"""First-order derivative of the loss within a gap (Section 4.2).
+
+Between two adjacent points of the current set lies a *sub-sequence*
+(the paper's term) of free integer values a virtual point could take.
+Every value in the sub-sequence shares the same insertion rank, so
+within it the refitted loss is a smooth rational function of the
+candidate value:
+
+    cov(t) = c0 + c1·t          (linear in the centered value t)
+    var(t) = v0 + v1·t + v2·t²  (quadratic)
+    SSE(t) = SyyC - cov(t)²/var(t)
+
+(constants from :meth:`repro.core.segment_stats.SegmentStats.candidate_terms`).
+Differentiating and clearing the (positive) denominator shows the
+stationary points satisfy::
+
+    cov(t) · [ 2·c1·var(t) - cov(t)·var'(t) ] = 0
+
+The bracketed factor is *linear* in ``t`` — its root is the interior
+minimiser the paper finds by intersecting the derivative with the
+x-axis (Fig. 4) — while ``cov(t) = 0`` corresponds to the interior
+*maximum* (zero explained variance).  This module exposes both the raw
+derivative (used to reproduce Fig. 4 and the sign test of Algorithm 1)
+and the closed-form interior minimiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .segment_stats import SegmentStats
+
+__all__ = ["GapContext", "loss_derivative"]
+
+
+@dataclass(frozen=True)
+class GapContext:
+    """The loss restricted to one sub-sequence of free values.
+
+    Attributes:
+        low: smallest free integer value in the gap.
+        high: largest free integer value in the gap (``high >= low``).
+        rank: insertion rank shared by every value in the gap.
+        reference: centering constant of the parent statistics.
+        c0, c1, v0, v1, v2, syyc: separated loss terms (see module doc).
+        n: size of the base point set (before insertion).
+    """
+
+    low: int
+    high: int
+    rank: int
+    reference: int
+    c0: float
+    c1: float
+    v0: float
+    v1: float
+    v2: float
+    syyc: float
+    n: int
+
+    @classmethod
+    def from_stats(cls, stats: SegmentStats, low: int, high: int, rank: int) -> "GapContext":
+        c0, c1, v0, v1, v2, syyc = stats.candidate_terms(rank)
+        return cls(
+            low=int(low),
+            high=int(high),
+            rank=int(rank),
+            reference=stats.reference,
+            c0=c0,
+            c1=c1,
+            v0=v0,
+            v1=v1,
+            v2=v2,
+            syyc=syyc,
+            n=stats.n,
+        )
+
+    @property
+    def length(self) -> int:
+        """Number of free integer values in this sub-sequence."""
+        return self.high - self.low + 1
+
+    # ------------------------------------------------------------------
+    def _t(self, value: float) -> float:
+        """Centered coordinate; exact for integer values."""
+        if isinstance(value, (int, np.integer)):
+            return float(int(value) - self.reference)
+        return float(value) - self.reference
+
+    def _cov_var(self, value: float) -> tuple[float, float]:
+        t = self._t(value)
+        cov = self.c0 + self.c1 * t
+        var = self.v0 + self.v1 * t + self.v2 * t * t
+        return cov, var
+
+    def loss(self, value: float) -> float:
+        """Refitted SSE if a virtual point took this value."""
+        cov, var = self._cov_var(value)
+        if var <= 0.0:
+            return max(self.syyc, 0.0)
+        return max(self.syyc - cov * cov / var, 0.0)
+
+    def derivative(self, value: float) -> float:
+        """d(SSE)/d(value) — the paper's ``L({K ∪ V})'`` (Eq. 17)."""
+        t = self._t(value)
+        cov = self.c0 + self.c1 * t
+        var = self.v0 + self.v1 * t + self.v2 * t * t
+        if var <= 0.0:
+            return 0.0
+        var_prime = self.v1 + 2.0 * self.v2 * t
+        return -(2.0 * cov * self.c1 * var - cov * cov * var_prime) / (var * var)
+
+    def stationary_minimum(self) -> float | None:
+        """The interior stationary point that is a minimum, if defined.
+
+        Solves ``2·c1·var(t) - cov(t)·var'(t) = 0`` (linear in ``t``)
+        and converts back to key coordinates.  Returns ``None`` when the
+        linear coefficient vanishes (degenerate gap).
+        """
+        denom = self.c1 * self.v1 - 2.0 * self.c0 * self.v2
+        if denom == 0.0:
+            return None
+        t_star = (self.c0 * self.v1 - 2.0 * self.c1 * self.v0) / denom
+        return t_star + self.reference
+
+    def candidate_values(self) -> list[int]:
+        """Candidate values to evaluate for this gap, per Algorithm 1.
+
+        * length ≤ 2 → every value in the sub-sequence (Line 7-8);
+        * endpoints' derivative signs equal → endpoints only (the
+          minimum cannot be interior, Line 16-17);
+        * opposite signs → the interior stationary point, rounded to
+          its two neighbouring integers, clamped into the gap
+          (Line 14-15 / 20-21).
+        """
+        if self.length <= 2:
+            return list(range(self.low, self.high + 1))
+        d_low = self.derivative(self.low)
+        d_high = self.derivative(self.high)
+        if d_low * d_high >= 0.0:
+            return [self.low, self.high]
+        star = self.stationary_minimum()
+        if star is None:
+            return [self.low, self.high]
+        floor_v = int(np.floor(star))
+        ceil_v = floor_v + 1
+        values = {
+            min(max(floor_v, self.low), self.high),
+            min(max(ceil_v, self.low), self.high),
+        }
+        return sorted(values)
+
+    def best_candidate(self) -> tuple[int, float]:
+        """``(value, loss)`` of the best virtual point in this gap."""
+        best_value = self.low
+        best_loss = float("inf")
+        for value in self.candidate_values():
+            loss = self.loss(value)
+            if loss < best_loss:
+                best_loss = loss
+                best_value = value
+        return best_value, best_loss
+
+
+def loss_derivative(stats: SegmentStats, value: int) -> float:
+    """Derivative of the refitted loss at a free *value* (Fig. 4 helper).
+
+    Builds the gap context on the fly; *value* must not collide with an
+    existing point.
+    """
+    rank = stats.insertion_rank(value)
+    ctx = GapContext.from_stats(stats, value, value, rank)
+    return ctx.derivative(value)

@@ -1,0 +1,123 @@
+"""Gap Insertion (GI) baseline (Li et al. [16], discussed in Section 2.2).
+
+GI straightens the CDF by manipulating *storage positions* instead of
+the key set: each key is placed at ``round(g · f(k))`` for a fitted
+model ``f`` and a gap factor ``g ≥ 1``.  Keys whose assigned positions
+collide are evicted to an overflow array, which adds a search step at
+query time — the drawback (and the up-to-87% space blow-up) the paper
+contrasts CSV against in Table 1.
+
+This implementation exists as a comparison baseline: it reports the
+storage expansion, the conflict (overflow) rate, and per-query search
+steps so the ablation bench can put CSV and GI side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .exceptions import SmoothingBudgetError
+from .linear_model import LinearModel, fit_linear
+from .segment_stats import validate_keys
+
+__all__ = ["GapInsertionLayout", "build_gap_insertion"]
+
+
+@dataclass
+class GapInsertionLayout:
+    """A gapped storage layout produced by the GI technique.
+
+    Attributes:
+        model: the indexing function addressing the gapped array.
+        slots: array of length ``capacity``; ``-1`` marks an empty slot,
+            other entries are key values placed at their predicted slot.
+        overflow: keys evicted by position conflicts, kept sorted.
+        gap_factor: the expansion factor ``g`` applied to predictions.
+    """
+
+    model: LinearModel
+    slots: np.ndarray
+    overflow: np.ndarray
+    gap_factor: float
+    _overflow_set: set[int] = field(repr=False, default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._overflow_set = set(int(k) for k in self.overflow.tolist())
+
+    @property
+    def capacity(self) -> int:
+        return int(self.slots.size)
+
+    @property
+    def n_keys(self) -> int:
+        return int(np.count_nonzero(self.slots >= 0) + self.overflow.size)
+
+    @property
+    def storage_expansion_pct(self) -> float:
+        """Extra storage relative to a dense array of the keys."""
+        dense = self.n_keys
+        used = self.capacity + self.overflow.size
+        return 100.0 * (used - dense) / dense if dense else 0.0
+
+    @property
+    def overflow_rate_pct(self) -> float:
+        """Share of keys living in the conflict overflow array."""
+        return 100.0 * self.overflow.size / self.n_keys if self.n_keys else 0.0
+
+    def lookup_steps(self, key: int) -> tuple[bool, int]:
+        """``(found, search_steps)`` for *key* under this layout.
+
+        A hit at the predicted slot costs one step.  A miss probes
+        outward (the local search GI needs because neighbours shift)
+        and finally binary-searches the overflow array.
+        """
+        key = int(key)
+        predicted = self.model.predict_clamped(key, self.capacity)
+        steps = 1
+        if int(self.slots[predicted]) == key:
+            return True, steps
+        for radius in range(1, 3):
+            for pos in (predicted - radius, predicted + radius):
+                if 0 <= pos < self.capacity:
+                    steps += 1
+                    if int(self.slots[pos]) == key:
+                        return True, steps
+        if self.overflow.size:
+            steps += int(np.ceil(np.log2(self.overflow.size + 1)))
+            if key in self._overflow_set:
+                return True, steps
+        return False, steps
+
+
+def build_gap_insertion(
+    keys: np.ndarray | list,
+    gap_factor: float = 1.5,
+) -> GapInsertionLayout:
+    """Lay out *keys* with the GI technique at the given *gap_factor*.
+
+    The model is fitted on the original ranks (GI does not refit), its
+    output scaled by ``gap_factor``, and each key placed at its rounded
+    predicted slot; later keys that collide go to the overflow array.
+    """
+    arr = validate_keys(keys)
+    if gap_factor < 1.0:
+        raise SmoothingBudgetError(f"gap_factor must be >= 1, got {gap_factor}")
+    base = fit_linear(arr)
+    model = base.scaled(gap_factor)
+    capacity = int(np.ceil(arr.size * gap_factor)) + 1
+    slots = np.full(capacity, -1, dtype=np.int64)
+    overflow: list[int] = []
+    for key in arr.tolist():
+        pos = model.predict_clamped(key, capacity)
+        if slots[pos] == -1:
+            slots[pos] = key
+        else:
+            overflow.append(int(key))
+    return GapInsertionLayout(
+        model=model,
+        slots=slots,
+        overflow=np.asarray(sorted(overflow), dtype=np.int64),
+        gap_factor=gap_factor,
+    )

@@ -1,0 +1,125 @@
+"""Loss functions (Eq. 1 / Eq. 2) and exact reference implementations.
+
+The fast path of the library lives in
+:mod:`repro.core.segment_stats`; this module provides the *direct*
+definitions from the paper, used both as the public API for computing
+losses of arbitrary models and as oracles for the property-based tests:
+
+* :func:`sse_loss` — Eq. 1, the sum of squared errors of an indexing
+  function over a key list.
+* :func:`fit_and_loss` — the refitted loss ``min_{w,b} L(K)`` that
+  Eq. 4 optimises.
+* :func:`hierarchy_loss` — Eq. 2, the total loss over a partition of
+  the key space into per-function segments.
+* :func:`exact_refit_loss` — an arbitrary-precision
+  :class:`fractions.Fraction` computation of the refitted loss, immune
+  to floating-point error.  Slow; test/verification use only.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import InvalidKeysError
+from .linear_model import LinearModel, QuadraticModel, fit_linear
+
+__all__ = [
+    "sse_loss",
+    "fit_and_loss",
+    "hierarchy_loss",
+    "exact_refit_loss",
+    "exact_refit_model",
+]
+
+
+def sse_loss(
+    keys: Sequence[int] | np.ndarray,
+    model: LinearModel | QuadraticModel,
+    positions: Sequence[int] | np.ndarray | None = None,
+) -> float:
+    """Eq. 1: ``Σ (f(k_i) - rank(k_i))²`` for the given *model*.
+
+    *positions* defaults to ranks ``0..n-1``.
+    """
+    k = np.asarray(keys, dtype=np.float64)
+    if k.ndim != 1 or k.size == 0:
+        raise InvalidKeysError("keys must be a non-empty 1-D array")
+    if positions is None:
+        y = np.arange(k.size, dtype=np.float64)
+    else:
+        y = np.asarray(positions, dtype=np.float64)
+        if y.shape != k.shape:
+            raise InvalidKeysError("keys and positions must have equal length")
+    err = model.predict_array(k) - y
+    return float(np.dot(err, err))
+
+
+def fit_and_loss(
+    keys: Sequence[int] | np.ndarray,
+    positions: Sequence[int] | np.ndarray | None = None,
+) -> tuple[LinearModel, float]:
+    """Refit a linear model and return ``(model, loss)`` (Eq. 4 inner step)."""
+    model = fit_linear(keys, positions)
+    return model, sse_loss(keys, model, positions)
+
+
+def hierarchy_loss(segments: Iterable[Sequence[int] | np.ndarray]) -> float:
+    """Eq. 2: total refitted SSE over a partition of the key list.
+
+    Each element of *segments* is one ``K_i`` indexed by its own
+    function ``f_i``; ranks are local to the segment, matching how
+    hierarchical indexes address their per-node storage.
+    """
+    total = 0.0
+    for segment in segments:
+        __, loss = fit_and_loss(segment)
+        total += loss
+    return total
+
+
+def _exact_fit(keys: Sequence[int], positions: Sequence[int]) -> tuple[Fraction, Fraction]:
+    n = len(keys)
+    if n == 0:
+        raise InvalidKeysError("keys must be non-empty")
+    sk = Fraction(sum(int(k) for k in keys))
+    sy = Fraction(sum(int(y) for y in positions))
+    skk = Fraction(sum(int(k) * int(k) for k in keys))
+    sky = Fraction(sum(int(k) * int(y) for k, y in zip(keys, positions)))
+    var = skk - sk * sk / n
+    if var == 0:
+        return Fraction(0), sy / n
+    cov = sky - sk * sy / n
+    w = cov / var
+    b = sy / n - w * sk / n
+    return w, b
+
+
+def exact_refit_model(
+    keys: Sequence[int],
+    positions: Sequence[int] | None = None,
+) -> tuple[Fraction, Fraction]:
+    """Exact OLS ``(slope, intercept)`` as Fractions (test oracle)."""
+    keys = [int(k) for k in keys]
+    if positions is None:
+        positions = list(range(len(keys)))
+    return _exact_fit(keys, list(positions))
+
+
+def exact_refit_loss(
+    keys: Sequence[int],
+    positions: Sequence[int] | None = None,
+) -> Fraction:
+    """Exact refitted SSE as a Fraction (test oracle for the fast path)."""
+    keys = [int(k) for k in keys]
+    if positions is None:
+        positions = list(range(len(keys)))
+    positions = [int(y) for y in positions]
+    w, b = _exact_fit(keys, positions)
+    total = Fraction(0)
+    for k, y in zip(keys, positions):
+        err = w * k + b - y
+        total += err * err
+    return total

@@ -1,0 +1,134 @@
+"""Loss-maximising point insertion (poisoning attacks, Section 2.3).
+
+CSV's smoothing is "data poisoning run in reverse": Kornaropoulos et
+al. insert points that *maximise* the SSE of a learned index's models
+to degrade it.  Reusing the incremental machinery from
+:mod:`repro.core.segment_stats` we implement the greedy attack, both
+as a reproduction of the motivating related work and as a sanity
+ablation — smoothing and poisoning should move the loss in opposite
+directions from the same starting set.
+
+Within one gap, the refitted loss is ``SyyC - cov(t)²/var(t)``; it is
+*maximised* where ``cov(t) = 0`` (the model explains nothing), so the
+attack's interior candidate is the root of the covariance rather than
+the stationary point of the bracketed factor used for smoothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .exceptions import SmoothingBudgetError
+from .segment_stats import SegmentStats, validate_keys
+from .smoothing import resolve_budget
+
+__all__ = ["PoisoningResult", "poison_keys"]
+
+
+@dataclass
+class PoisoningResult:
+    """Outcome of a greedy poisoning run."""
+
+    original_keys: np.ndarray
+    poison_points: list[int] = field(default_factory=list)
+    points: np.ndarray | None = None
+    original_loss: float = 0.0
+    final_loss: float = 0.0
+    loss_trace: list[float] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def loss_increase_pct(self) -> float:
+        if self.original_loss == 0.0:
+            return float("inf") if self.final_loss > 0 else 0.0
+        return 100.0 * (self.final_loss - self.original_loss) / self.original_loss
+
+
+def _worst_candidate(stats: SegmentStats) -> tuple[int, float] | None:
+    """Global loss-maximising ``(value, loss)`` over every gap."""
+    points = stats.points
+    lows = points[:-1] + 1
+    highs = points[1:] - 1
+    mask = highs >= lows
+    if not np.any(mask):
+        return None
+    lows = lows[mask]
+    highs = highs[mask]
+    ranks = np.nonzero(mask)[0] + 1
+
+    candidate_values = [lows, highs]
+    candidate_ranks = [ranks, ranks]
+    # Interior maximiser: cov(t) = c0 + c1·t = 0.
+    from .segment_stats import sum_of_ranks
+
+    n = stats.n
+    big_n = n + 1
+    ybar = sum_of_ranks(big_n) / big_n
+    sk, __, sky = stats.centered_sums()
+    suffix = np.array([stats.suffix_key_sum(int(r)) for r in ranks])
+    c0 = (sky + suffix) - sk * ybar
+    c1 = ranks - ybar
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_zero = np.where(c1 != 0.0, -c0 / c1, np.nan)
+    star = t_zero + stats.reference
+    interior = np.isfinite(star) & (star > lows) & (star < highs)
+    if np.any(interior):
+        floor_v = np.floor(star[interior]).astype(np.int64)
+        lo_i = lows[interior]
+        hi_i = highs[interior]
+        candidate_values.append(np.clip(floor_v, lo_i, hi_i))
+        candidate_ranks.append(ranks[interior])
+        candidate_values.append(np.clip(floor_v + 1, lo_i, hi_i))
+        candidate_ranks.append(ranks[interior])
+
+    values = np.concatenate(candidate_values)
+    value_ranks = np.concatenate(candidate_ranks)
+    losses = stats.evaluate_many(values, value_ranks)
+    worst = int(np.argmax(losses))
+    return int(values[worst]), float(losses[worst])
+
+
+def poison_keys(
+    keys: np.ndarray | list,
+    alpha: float | None = None,
+    budget: int | None = None,
+) -> PoisoningResult:
+    """Greedy poisoning: insert points that maximise the refitted SSE.
+
+    Mirrors :func:`repro.core.smoothing.smooth_keys` with the argmin
+    replaced by an argmax.  Stops early only when no free value exists.
+    """
+    original = validate_keys(keys)
+    lam = resolve_budget(original.size, alpha, budget)
+    if original.size < 2:
+        raise SmoothingBudgetError("poisoning needs at least two keys")
+    start = time.perf_counter()
+    stats = SegmentStats(original)
+    original_loss = stats.base_loss()
+    trace = [original_loss]
+    poison: list[int] = []
+    current_loss = original_loss
+    while len(poison) < lam:
+        found = _worst_candidate(stats)
+        if found is None:
+            break
+        value, loss = found
+        if loss <= current_loss:
+            # No free value hurts the fit further; stop (rare, tiny gaps).
+            break
+        stats.commit(value)
+        poison.append(value)
+        current_loss = loss
+        trace.append(loss)
+    return PoisoningResult(
+        original_keys=original,
+        poison_points=poison,
+        points=stats.points,
+        original_loss=original_loss,
+        final_loss=current_loss,
+        loss_trace=trace,
+        elapsed_seconds=time.perf_counter() - start,
+    )

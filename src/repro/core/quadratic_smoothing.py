@@ -1,0 +1,229 @@
+"""CDF smoothing with a quadratic indexing function (extension).
+
+Section 1 of the paper notes that "CDF smoothing can naturally extend
+to more complex (e.g., quadratic) functions".  This module provides
+that extension: greedy virtual-point insertion where the refitted
+model is ``f(k) = a·k² + b·k + c``.
+
+The incremental machinery mirrors the linear case with two more
+moments.  For the pivoted keys ``t_i = k_i - pivot`` we maintain
+
+    S1..S4 = Σ t, Σ t², Σ t³, Σ t⁴     and    Sy, Sty, Stty
+
+under rank shifts, solve the 3×3 weighted-normal equations per
+candidate, and read the SSE in O(1).  Gaps are no longer guaranteed a
+single interior stationary point in closed form, so each gap is scored
+at its endpoints plus a geometric ladder of interior probes — still a
+tiny candidate set per gap, preserving the spirit of the Section 4.2
+filter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .linear_model import QuadraticModel
+from .segment_stats import sum_of_rank_squares, sum_of_ranks, validate_keys
+from .smoothing import resolve_budget
+
+__all__ = ["QuadraticSmoothingResult", "smooth_keys_quadratic", "quadratic_fit_and_loss"]
+
+#: Interior probes per gap (besides the two endpoints).
+PROBES_PER_GAP = 3
+
+
+def quadratic_fit_and_loss(
+    keys: np.ndarray, ranks: np.ndarray | None = None
+) -> tuple[QuadraticModel, float]:
+    """Quadratic OLS fit and SSE (reference path, O(n))."""
+    keys = validate_keys(keys)
+    if ranks is None:
+        ranks = np.arange(keys.size, dtype=np.float64)
+    else:
+        ranks = np.asarray(ranks, dtype=np.float64)
+    pivot = int(keys[0])
+    t = (keys - np.int64(pivot)).astype(np.float64)
+    scale = float(t.max() - t.min()) or 1.0
+    u = t / scale
+    design = np.column_stack([u * u, u, np.ones_like(u)])
+    coeffs, *__ = np.linalg.lstsq(design, ranks, rcond=None)
+    a_u, b_u, c_u = (float(c) for c in coeffs)
+    model = QuadraticModel(a_u / (scale * scale), b_u / scale, c_u, pivot)
+    err = model.predict_array(keys) - ranks
+    return model, float(np.dot(err, err))
+
+
+class _QuadState:
+    """Moment sums for O(1) quadratic refits under point insertion."""
+
+    def __init__(self, keys: np.ndarray):
+        self.points = keys.copy()
+        self.pivot = int(keys[0])
+        self._refresh()
+
+    def _refresh(self) -> None:
+        t = (self.points - np.int64(self.pivot)).astype(np.float64)
+        self.scale = float(t.max() - t.min()) or 1.0
+        u = t / self.scale
+        y = np.arange(u.size, dtype=np.float64)
+        self.u = u
+        self.s1 = float(u.sum())
+        self.s2 = float(np.dot(u, u))
+        u2 = u * u
+        self.s3 = float(np.dot(u2, u))
+        self.s4 = float(np.dot(u2, u2))
+        self.sy = float(y.sum())
+        self.suy = float(np.dot(u, y))
+        self.su2y = float(np.dot(u2, y))
+        # prefix sums for suffix queries under a rank shift
+        self.prefix_u = np.cumsum(u)
+        self.prefix_u2 = np.cumsum(u2)
+
+    @property
+    def n(self) -> int:
+        return int(self.points.size)
+
+    def _suffix(self, prefix: np.ndarray, rank: int) -> float:
+        total = float(prefix[-1])
+        if rank <= 0:
+            return total
+        if rank >= self.n:
+            return 0.0
+        return total - float(prefix[rank - 1])
+
+    def candidate_loss(self, value: int, rank: int) -> float:
+        """SSE of the quadratic refit if (value, rank) were inserted."""
+        n = self.n
+        big_n = n + 1
+        uv = (float(value - self.pivot)) / self.scale
+        s1 = self.s1 + uv
+        s2 = self.s2 + uv * uv
+        s3 = self.s3 + uv**3
+        s4 = self.s4 + uv**4
+        sy = sum_of_ranks(big_n)
+        syy = sum_of_rank_squares(big_n)
+        suy = self.suy + self._suffix(self.prefix_u, rank) + uv * rank
+        su2y = self.su2y + self._suffix(self.prefix_u2, rank) + uv * uv * rank
+        # Normal equations for [a, b, c] over (u², u, 1).
+        gram = np.array(
+            [[s4, s3, s2], [s3, s2, s1], [s2, s1, float(big_n)]], dtype=np.float64
+        )
+        rhs = np.array([su2y, suy, sy], dtype=np.float64)
+        try:
+            coeffs = np.linalg.solve(gram, rhs)
+        except np.linalg.LinAlgError:
+            return float("inf")
+        a, b, c = (float(x) for x in coeffs)
+        # SSE = Σy² - 2·coeffᵀrhs + coeffᵀ G coeff  (quadratic form)
+        sse = syy - 2.0 * float(np.dot(coeffs, rhs)) + float(
+            coeffs @ gram @ coeffs
+        )
+        return max(sse, 0.0)
+
+    def best_candidate(self) -> tuple[int, float] | None:
+        lows = self.points[:-1] + 1
+        highs = self.points[1:] - 1
+        open_gaps = np.nonzero(highs >= lows)[0]
+        if open_gaps.size == 0:
+            return None
+        best_value = None
+        best_loss = float("inf")
+        for i in open_gaps.tolist():
+            low = int(lows[i])
+            high = int(highs[i])
+            rank = i + 1
+            probes = {low, high}
+            span = high - low
+            for j in range(1, PROBES_PER_GAP + 1):
+                probes.add(low + span * j // (PROBES_PER_GAP + 1))
+            for value in probes:
+                loss = self.candidate_loss(value, rank)
+                if loss < best_loss:
+                    best_loss = loss
+                    best_value = value
+        if best_value is None:
+            return None
+        return best_value, best_loss
+
+    def commit(self, value: int) -> None:
+        rank = int(np.searchsorted(self.points, value))
+        self.points = np.insert(self.points, rank, value)
+        self._refresh()
+
+
+@dataclass
+class QuadraticSmoothingResult:
+    """Outcome of a quadratic smoothing run."""
+
+    original_keys: np.ndarray
+    virtual_points: list[int]
+    points: np.ndarray
+    original_loss: float
+    final_loss: float
+    model: QuadraticModel
+    budget: int
+    loss_trace: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def n_virtual(self) -> int:
+        return len(self.virtual_points)
+
+    @property
+    def loss_improvement_pct(self) -> float:
+        if self.original_loss == 0.0:
+            return 0.0
+        return 100.0 * (self.original_loss - self.final_loss) / self.original_loss
+
+
+def smooth_keys_quadratic(
+    keys: np.ndarray | list,
+    alpha: float | None = None,
+    budget: int | None = None,
+) -> QuadraticSmoothingResult:
+    """Greedy CDF smoothing against a refitted quadratic model.
+
+    On curved CDFs the quadratic starts from a much lower loss than
+    the linear model, so fewer virtual points are needed; the paper's
+    caveat applies — the model itself is costlier to evaluate at query
+    time (compare in ``bench_ablation_quadratic.py``).
+    """
+    original = validate_keys(keys)
+    lam = resolve_budget(original.size, alpha, budget)
+    start = time.perf_counter()
+    state = _QuadState(original)
+    __, original_loss = quadratic_fit_and_loss(original)
+    previous = original_loss
+    trace = [previous]
+    virtual: list[int] = []
+    stopped_early = False
+    while len(virtual) < lam:
+        found = state.best_candidate()
+        if found is None:
+            stopped_early = True
+            break
+        value, loss = found
+        if loss >= previous:
+            stopped_early = True
+            break
+        state.commit(value)
+        virtual.append(value)
+        previous = loss
+        trace.append(loss)
+    model, final = quadratic_fit_and_loss(state.points)
+    return QuadraticSmoothingResult(
+        original_keys=original,
+        virtual_points=virtual,
+        points=state.points,
+        original_loss=original_loss,
+        final_loss=final,
+        model=model,
+        budget=lam,
+        loss_trace=trace,
+        stopped_early=stopped_early,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,315 @@
+"""Sufficient statistics for O(1) candidate-loss evaluation.
+
+This module implements the "efficient loss calculation" of Section 4.1
+of the paper.  The paper's Eqs. 5-16 separate the loss terms that
+depend only on the original key set from the terms contributed by a
+candidate virtual point, so that, after an O(n) precomputation, the
+refitted-model loss ``L(K ∪ {k_v})`` costs O(1) per candidate.
+
+We realise the same separation with ordinary-least-squares sufficient
+statistics.  For a sorted key list ``K`` with ranks ``0..n-1`` define
+
+    Sk  = Σ k_i        Skk = Σ k_i²       Sky = Σ k_i · rank(k_i)
+
+Inserting a virtual point with value ``k_v`` and insertion rank ``y_v``
+(the number of keys smaller than ``k_v``) shifts the rank of every key
+with rank ≥ y_v up by one.  The combined statistics become
+
+    Sk'  = Sk + k_v
+    Skk' = Skk + k_v²
+    Sky' = Sky + suffix_key_sum(y_v) + k_v · y_v
+    Sy'  = 0 + 1 + ... + n           (independent of y_v!)
+    Syy' = 0² + 1² + ... + n²        (independent of y_v!)
+
+where ``suffix_key_sum(y_v) = Σ_{rank ≥ y_v} k_i`` comes from a prefix
+sum precomputed once per committed state.  With those statistics the
+OLS refit (Eqs. 6-7 / 15-16) and the refitted SSE are closed-form:
+
+    cov = Sky' - Sk'·Sy'/N      var = Skk' - Sk'²/N
+    w = cov / var               b = Sy'/N - w·Sk'/N
+    SSE = (Syy' - Sy'²/N) - cov²/var
+
+All key sums are computed over *centered* keys (``k - ref``) so that
+64-bit key magnitudes do not lose the covariance to floating-point
+cancellation.  :mod:`repro.core.loss` provides an exact Fraction-based
+reference used by the property tests to validate this fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .exceptions import InvalidKeysError
+from .linear_model import LinearModel
+
+__all__ = ["CandidateEvaluation", "SegmentStats", "validate_keys"]
+
+
+def validate_keys(keys: np.ndarray | list) -> np.ndarray:
+    """Validate and normalise a key array.
+
+    Returns a 1-D ``int64`` numpy array.  Raises
+    :class:`~repro.core.exceptions.InvalidKeysError` if the input is
+    empty, not one-dimensional, unsorted, or contains duplicates.
+    """
+    arr = np.asarray(keys)
+    if arr.ndim != 1:
+        raise InvalidKeysError("keys must be one-dimensional")
+    if arr.size == 0:
+        raise InvalidKeysError("keys must be non-empty")
+    if not np.issubdtype(arr.dtype, np.integer):
+        as_int = arr.astype(np.int64)
+        if not np.array_equal(as_int.astype(arr.dtype), arr):
+            raise InvalidKeysError("keys must be integer-valued")
+        arr = as_int
+    else:
+        arr = arr.astype(np.int64)
+    if arr.size > 1:
+        diffs = np.diff(arr)
+        if np.any(diffs < 0):
+            raise InvalidKeysError("keys must be sorted ascending")
+        if np.any(diffs == 0):
+            raise InvalidKeysError("keys must not contain duplicates")
+    return arr
+
+
+def sum_of_ranks(count: int) -> float:
+    """Σ of ranks ``0..count-1`` (= Sy for *count* points)."""
+    return count * (count - 1) / 2.0
+
+
+def sum_of_rank_squares(count: int) -> float:
+    """Σ of squared ranks ``0..count-1`` (= Syy for *count* points)."""
+    return (count - 1) * count * (2 * count - 1) / 6.0
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """Result of evaluating one candidate virtual point.
+
+    Attributes:
+        value: the candidate key value ``k_v``.
+        rank: its insertion rank ``y_v`` in the current point set.
+        loss: SSE of the model refitted over the combined point set
+            (this is ``L_{f'}(K ∪ V)`` in the paper's notation).
+        model: the refitted linear indexing function.
+    """
+
+    value: int
+    rank: int
+    loss: float
+    model: LinearModel
+
+
+class SegmentStats:
+    """Sufficient statistics over a sorted point set (keys + committed
+    virtual points).
+
+    Instances are mutated only through :meth:`commit`; candidate
+    evaluation is read-only and O(1).  ``points`` is the current sorted
+    array of all point values, which the greedy smoother also uses to
+    enumerate gaps.
+    """
+
+    __slots__ = ("points", "_ref", "_centered", "_sk", "_skk", "_sky", "_prefix")
+
+    def __init__(self, keys: np.ndarray | list):
+        points = validate_keys(keys)
+        self.points = points
+        self._ref = int(points[0])
+        self._recompute()
+
+    def _recompute(self) -> None:
+        # Subtract the pivot in integer arithmetic BEFORE the float
+        # conversion: int64 keys exceed float64's mantissa, and losing
+        # the low bits here would corrupt every loss computation.
+        centered = (self.points - np.int64(self._ref)).astype(np.float64)
+        ranks = np.arange(centered.size, dtype=np.float64)
+        self._centered = centered
+        self._sk = float(centered.sum())
+        self._skk = float(np.dot(centered, centered))
+        self._sky = float(np.dot(centered, ranks))
+        self._prefix = np.cumsum(centered)
+
+    # ------------------------------------------------------------------
+    # Read-only views
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of points in the current set."""
+        return int(self.points.size)
+
+    @property
+    def key_min(self) -> int:
+        return int(self.points[0])
+
+    @property
+    def key_max(self) -> int:
+        return int(self.points[-1])
+
+    @property
+    def reference(self) -> int:
+        """The integer pivot subtracted from every key."""
+        return self._ref
+
+    def centered_sums(self) -> tuple[float, float, float]:
+        """Return ``(Sk, Skk, Sky)`` over centered keys for the base set."""
+        return self._sk, self._skk, self._sky
+
+    def suffix_key_sum(self, rank: int) -> float:
+        """Σ of centered key values with rank ≥ *rank* in the base set."""
+        if rank <= 0:
+            return self._sk
+        if rank >= self.n:
+            return 0.0
+        return self._sk - float(self._prefix[rank - 1])
+
+    def insertion_rank(self, value: int) -> int:
+        """Rank a virtual point with this value would take (Eq. 9 context)."""
+        return int(np.searchsorted(self.points, value, side="left"))
+
+    def contains(self, value: int) -> bool:
+        """True if *value* already exists in the point set."""
+        idx = self.insertion_rank(value)
+        return idx < self.n and int(self.points[idx]) == int(value)
+
+    # ------------------------------------------------------------------
+    # Base-set loss and model (no virtual point)
+    # ------------------------------------------------------------------
+    def base_model(self) -> LinearModel:
+        """OLS fit of the current point set against its ranks."""
+        n = self.n
+        if n == 1:
+            return LinearModel(0.0, 0.0)
+        sy = sum_of_ranks(n)
+        cov = self._sky - self._sk * sy / n
+        var = self._skk - self._sk * self._sk / n
+        if var <= 0.0:
+            return LinearModel(0.0, sy / n, self._ref)
+        w = cov / var
+        b_centered = sy / n - w * self._sk / n
+        return LinearModel(w, b_centered, self._ref)
+
+    def base_loss(self) -> float:
+        """SSE of the OLS fit over the current point set (Eq. 1)."""
+        n = self.n
+        if n <= 2:
+            return 0.0
+        sy = sum_of_ranks(n)
+        syy = sum_of_rank_squares(n)
+        cov = self._sky - self._sk * sy / n
+        var = self._skk - self._sk * self._sk / n
+        total = syy - sy * sy / n
+        if var <= 0.0:
+            return max(total, 0.0)
+        return max(total - cov * cov / var, 0.0)
+
+    # ------------------------------------------------------------------
+    # Candidate evaluation (O(1) each)
+    # ------------------------------------------------------------------
+    def candidate_terms(self, rank: int) -> tuple[float, float, float, float, float, float]:
+        """Gap-level constants for a candidate inserted at *rank*.
+
+        Returns ``(c0, c1, v0, v1, v2)`` plus the total sum of squares
+        ``SyyC`` such that, for a candidate with centered value ``t``:
+
+            cov(t) = c0 + c1·t
+            var(t) = v0 + v1·t + v2·t²
+            SSE(t) = SyyC - cov(t)² / var(t)
+
+        These are the separated terms of the paper's Eqs. 10-16: the
+        candidate value appears only through ``t`` while every constant
+        is derived from base-set statistics.
+        """
+        n = self.n
+        big_n = n + 1
+        sy = sum_of_ranks(big_n)
+        syy = sum_of_rank_squares(big_n)
+        ybar = sy / big_n
+        suffix = self.suffix_key_sum(rank)
+        c0 = (self._sky + suffix) - self._sk * ybar
+        c1 = rank - ybar
+        v0 = self._skk - self._sk * self._sk / big_n
+        v1 = -2.0 * self._sk / big_n
+        v2 = 1.0 - 1.0 / big_n
+        syyc = syy - sy * sy / big_n
+        return c0, c1, v0, v1, v2, syyc
+
+    def evaluate(self, value: int) -> CandidateEvaluation:
+        """Loss and refitted model if *value* were inserted (Eq. 4).
+
+        The value must not already be present.  O(log n) for the rank
+        lookup, O(1) arithmetic.
+        """
+        value = int(value)
+        rank = self.insertion_rank(value)
+        if rank < self.n and int(self.points[rank]) == value:
+            raise InvalidKeysError(f"candidate {value} already exists in the point set")
+        t = float(value - self._ref)
+        c0, c1, v0, v1, v2, syyc = self.candidate_terms(rank)
+        cov = c0 + c1 * t
+        var = v0 + v1 * t + v2 * t * t
+        big_n = self.n + 1
+        sy = sum_of_ranks(big_n)
+        if var <= 0.0:
+            loss = max(syyc, 0.0)
+            model = LinearModel(0.0, sy / big_n, self._ref)
+        else:
+            loss = max(syyc - cov * cov / var, 0.0)
+            w = cov / var
+            b_centered = sy / big_n - w * (self._sk + t) / big_n
+            model = LinearModel(w, b_centered, self._ref)
+        return CandidateEvaluation(value=value, rank=rank, loss=loss, model=model)
+
+    def evaluate_many(self, values: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+        """Vectorised candidate losses.
+
+        *values* and *ranks* are parallel arrays; each entry is treated
+        as an independent single-point insertion into the current set.
+        Returns the array of refitted SSE losses.
+        """
+        values_arr = np.asarray(values)
+        if np.issubdtype(values_arr.dtype, np.integer):
+            t = (values_arr - np.int64(self._ref)).astype(np.float64)
+        else:
+            t = values_arr.astype(np.float64) - float(self._ref)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        n = self.n
+        big_n = n + 1
+        sy = sum_of_ranks(big_n)
+        syy = sum_of_rank_squares(big_n)
+        ybar = sy / big_n
+        # suffix sums for each rank, vectorised over the prefix array
+        suffix = np.where(
+            ranks <= 0,
+            self._sk,
+            np.where(ranks >= n, 0.0, self._sk - self._prefix[np.clip(ranks - 1, 0, n - 1)]),
+        )
+        cov = (self._sky + suffix - self._sk * ybar) + (ranks - ybar) * t
+        var = (self._skk - self._sk * self._sk / big_n) + (-2.0 * self._sk / big_n) * t + (1.0 - 1.0 / big_n) * t * t
+        syyc = syy - sy * sy / big_n
+        with np.errstate(divide="ignore", invalid="ignore"):
+            loss = syyc - np.where(var > 0.0, cov * cov / var, 0.0)
+        return np.maximum(loss, 0.0)
+
+    # ------------------------------------------------------------------
+    # Commit (the "adjustment for multiple virtual points" of Sec. 4.1)
+    # ------------------------------------------------------------------
+    def commit(self, value: int) -> int:
+        """Insert *value* into the point set and refresh statistics.
+
+        Returns the rank at which the point was inserted.  O(n) for the
+        array insertion and prefix-sum refresh; candidate evaluation
+        afterwards treats the merged set as the new base set, exactly as
+        the paper's "treat the key set with the previous virtual point
+        inserted as the new original" step.
+        """
+        value = int(value)
+        rank = self.insertion_rank(value)
+        if rank < self.n and int(self.points[rank]) == value:
+            raise InvalidKeysError(f"cannot commit duplicate point {value}")
+        self.points = np.insert(self.points, rank, value)
+        self._recompute()
+        return rank

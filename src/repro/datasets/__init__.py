@@ -1,0 +1,48 @@
+"""Synthetic dataset analogues of the paper's evaluation data, plus
+CDF inspection and downsampling utilities."""
+
+from .cdf import (
+    CdfSummary,
+    empirical_cdf,
+    linearity_r2,
+    local_linearity_profile,
+    pla_segment_count,
+    summarize,
+    zoomed_window,
+)
+from .loader import cardinality_series, clear_cache, default_scale, downsample, load
+from .synthetic import (
+    DATASETS,
+    EASY_DATASETS,
+    FIG2_TOY_KEYS,
+    HARD_DATASETS,
+    covid,
+    facebook,
+    generate,
+    genome,
+    osm,
+)
+
+__all__ = [
+    "CdfSummary",
+    "DATASETS",
+    "EASY_DATASETS",
+    "FIG2_TOY_KEYS",
+    "HARD_DATASETS",
+    "cardinality_series",
+    "clear_cache",
+    "covid",
+    "default_scale",
+    "downsample",
+    "empirical_cdf",
+    "facebook",
+    "generate",
+    "genome",
+    "linearity_r2",
+    "load",
+    "local_linearity_profile",
+    "osm",
+    "pla_segment_count",
+    "summarize",
+    "zoomed_window",
+]

@@ -1,0 +1,110 @@
+"""CDF inspection utilities (reproduces Fig. 5 and quantifies
+"dataset hardness").
+
+The paper motivates its dataset choice with CDF plots: global shape
+(Figs. 5a-5d) and a zoomed window of one thousand keys starting at the
+100-millionth point (Figs. 5e-5h).  The helpers here compute the same
+views numerically, plus two hardness measures used in tests and
+benches: the R² of a straight-line fit (global/local linearity) and
+the number of ε-bounded PLA segments needed to cover the CDF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import InvalidKeysError
+from ..core.loss import fit_and_loss
+from ..indexes.pgm import build_pla_segments
+
+__all__ = [
+    "empirical_cdf",
+    "zoomed_window",
+    "linearity_r2",
+    "local_linearity_profile",
+    "pla_segment_count",
+    "CdfSummary",
+    "summarize",
+]
+
+
+def empirical_cdf(keys: np.ndarray, points: int = 256) -> tuple[np.ndarray, np.ndarray]:
+    """``(key_quantiles, cdf_values)`` subsampled to *points* entries."""
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        raise InvalidKeysError("keys must be non-empty")
+    idx = np.linspace(0, keys.size - 1, min(points, keys.size)).astype(np.int64)
+    return keys[idx], idx.astype(np.float64) / max(keys.size - 1, 1)
+
+
+def zoomed_window(keys: np.ndarray, start_fraction: float = 0.5, width: int = 1000) -> np.ndarray:
+    """A *width*-key window starting at *start_fraction* of the data.
+
+    Fig. 5e-5h zoom from the 100-millionth key (fraction 0.5 of 200M)
+    across the next thousand points.
+    """
+    keys = np.asarray(keys)
+    start = int(keys.size * start_fraction)
+    start = min(max(start, 0), max(keys.size - 2, 0))
+    return keys[start : min(start + width, keys.size)]
+
+
+def linearity_r2(keys: np.ndarray) -> float:
+    """R² of the best straight line through the CDF (1 = perfectly linear)."""
+    keys = np.asarray(keys, dtype=np.float64)
+    n = keys.size
+    if n < 3:
+        return 1.0
+    ranks = np.arange(n, dtype=np.float64)
+    __, loss = fit_and_loss(keys, ranks)
+    total = float(np.sum((ranks - ranks.mean()) ** 2))
+    if total == 0.0:
+        return 1.0
+    return max(0.0, 1.0 - loss / total)
+
+
+def local_linearity_profile(
+    keys: np.ndarray, window: int = 1000, samples: int = 32
+) -> np.ndarray:
+    """R² of straight-line fits over evenly spaced local windows."""
+    keys = np.asarray(keys)
+    if keys.size <= window:
+        return np.asarray([linearity_r2(keys)])
+    starts = np.linspace(0, keys.size - window, samples).astype(np.int64)
+    return np.asarray([linearity_r2(keys[s : s + window]) for s in starts])
+
+
+def pla_segment_count(keys: np.ndarray, epsilon: int = 32) -> int:
+    """ε-bounded PLA segments needed to cover the CDF (hardness proxy).
+
+    Harder distributions need more segments — OSM/Genome analogues
+    should report substantially more than Facebook/Covid analogues.
+    """
+    return len(build_pla_segments(np.asarray(keys, dtype=np.int64), epsilon))
+
+
+@dataclass(frozen=True)
+class CdfSummary:
+    """Hardness summary of one dataset (used in Fig. 5's bench)."""
+
+    name: str
+    n: int
+    global_r2: float
+    local_r2_mean: float
+    local_r2_min: float
+    pla_segments: int
+
+
+def summarize(name: str, keys: np.ndarray, window: int = 1000) -> CdfSummary:
+    """Compute the Fig. 5 shape summary for one dataset."""
+    profile = local_linearity_profile(keys, window=window)
+    return CdfSummary(
+        name=name,
+        n=int(np.asarray(keys).size),
+        global_r2=linearity_r2(keys),
+        local_r2_mean=float(profile.mean()),
+        local_r2_min=float(profile.min()),
+        pla_segments=pla_segment_count(keys),
+    )

@@ -1,0 +1,132 @@
+"""Distribution building blocks for the synthetic dataset generators.
+
+The paper evaluates on four real 200M-key datasets whose raw files are
+not redistributable (DESIGN.md §3).  What the smoothing machinery
+actually responds to is the *shape* of the key CDF — global linearity,
+local linearity, cluster structure, block/step structure — so the
+generators in :mod:`repro.datasets.synthetic` compose the primitives
+here to match each dataset's shape class.
+
+All primitives take a :class:`numpy.random.Generator` and return
+sorted, unique ``int64`` arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import InvalidKeysError
+
+__all__ = [
+    "gap_process",
+    "cluster_mixture",
+    "block_process",
+    "dedupe_to_size",
+]
+
+MAX_KEY = np.iinfo(np.int64).max // 4
+
+
+def dedupe_to_size(raw: np.ndarray, n: int) -> np.ndarray:
+    """Sort, deduplicate, and reduce *raw* to exactly *n* keys.
+
+    If more than *n* unique keys exist, an evenly spaced subsample
+    keeps the distribution shape (the same trick the paper uses to
+    downsample: dropping every j-th key).  Raises if fewer than *n*
+    unique keys are available — callers should oversample.
+    """
+    unique = np.unique(raw.astype(np.int64))
+    if unique.size < n:
+        raise InvalidKeysError(
+            f"generator produced {unique.size} unique keys, need {n}; oversample more"
+        )
+    if unique.size == n:
+        return unique
+    positions = np.linspace(0, unique.size - 1, n).astype(np.int64)
+    return unique[positions]
+
+
+def gap_process(
+    rng: np.random.Generator,
+    n: int,
+    mean_gap: float,
+    heavy_tail: float = 0.0,
+    start: int = 1_000_000,
+) -> np.ndarray:
+    """Keys as a cumulative sum of i.i.d. positive gaps.
+
+    With ``heavy_tail == 0`` the gaps are geometric (a discretised
+    Poisson arrival process — globally *and* locally near-linear CDF,
+    like the Covid tweet ids).  A positive *heavy_tail* mixes in
+    occasional lognormal jumps, producing local variability around a
+    linear global shape (like the Facebook user ids).
+    """
+    gaps = rng.geometric(1.0 / mean_gap, size=n).astype(np.float64)
+    if heavy_tail > 0.0:
+        jump_mask = rng.random(n) < heavy_tail
+        jumps = rng.lognormal(mean=np.log(mean_gap * 20), sigma=1.0, size=n)
+        gaps = np.where(jump_mask, gaps + jumps, gaps)
+    keys = start + np.cumsum(gaps).astype(np.int64)
+    if keys[-1] >= MAX_KEY:
+        raise InvalidKeysError("gap process overflowed the key range; lower mean_gap")
+    return dedupe_to_size(keys, n)
+
+
+def cluster_mixture(
+    rng: np.random.Generator,
+    n: int,
+    n_clusters: int,
+    span: int = 2**55,
+    sigma: float = 2.0,
+    oversample: float = 1.6,
+) -> np.ndarray:
+    """Keys from a mixture of lognormal clusters across a huge range.
+
+    Cluster centres are uniform over *span*; within-cluster offsets are
+    lognormal, so the CDF is a staircase of steep ramps — globally
+    non-linear with strong local structure, the shape class of the OSM
+    cell ids the paper calls a "hard" dataset.
+    """
+    if n_clusters < 1:
+        raise InvalidKeysError("need at least one cluster")
+    total = int(n * oversample)
+    sizes = rng.multinomial(total, np.full(n_clusters, 1.0 / n_clusters))
+    centers = np.sort(rng.integers(0, span, size=n_clusters))
+    parts = []
+    for center, size in zip(centers, sizes):
+        if size == 0:
+            continue
+        offsets = rng.lognormal(mean=8.0, sigma=sigma, size=size)
+        parts.append(center + offsets.astype(np.int64))
+    return dedupe_to_size(np.concatenate(parts), n)
+
+
+def block_process(
+    rng: np.random.Generator,
+    n: int,
+    block_size_mean: int,
+    intra_gap_mean: float,
+    inter_gap_mean: float,
+    oversample: float = 1.4,
+) -> np.ndarray:
+    """Keys in dense blocks separated by large jumps.
+
+    Inside a block, consecutive keys differ by small geometric gaps;
+    blocks are separated by much larger gaps.  The local CDF looks like
+    a staircase — the shape class of the Genome loci pairs, the paper's
+    hardest local distribution.
+    """
+    total = int(n * oversample)
+    keys = []
+    current = 1_000_000
+    produced = 0
+    while produced < total:
+        block_len = max(2, int(rng.poisson(block_size_mean)))
+        gaps = rng.geometric(1.0 / intra_gap_mean, size=block_len)
+        block = current + np.cumsum(gaps)
+        keys.append(block)
+        produced += block_len
+        current = int(block[-1]) + int(rng.geometric(1.0 / inter_gap_mean))
+        if current >= MAX_KEY:
+            raise InvalidKeysError("block process overflowed the key range")
+    return dedupe_to_size(np.concatenate(keys), n)

@@ -1,0 +1,104 @@
+"""Dataset access: caching, downsampling, and scale management.
+
+The paper's scalability study (Fig. 9) downsamples 200M-key datasets
+to 12.5M/25M/50M/100M by "eliminating every j-th key from the sorted
+datasets"; :func:`downsample` reproduces that exact mechanism.  A
+small in-process cache keeps repeated experiment runs cheap.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..core.exceptions import InvalidKeysError
+from .synthetic import DATASETS, DEFAULT_SEED, generate
+
+__all__ = ["load", "downsample", "cardinality_series", "default_scale", "clear_cache"]
+
+_CACHE: dict[tuple[str, int, int], np.ndarray] = {}
+
+#: Environment variable overriding the default experiment scale.
+SCALE_ENV_VAR = "REPRO_SCALE"
+_DEFAULT_SCALE = 20_000
+
+
+def default_scale() -> int:
+    """Default keys-per-dataset for experiments.
+
+    The paper uses 200M keys; pure-Python indexes are ~10^3 times
+    slower than the C++ originals, so the default is scaled down by
+    the same factor.  Override with the ``REPRO_SCALE`` env var.
+    """
+    raw = os.environ.get(SCALE_ENV_VAR)
+    if raw is None:
+        return _DEFAULT_SCALE
+    try:
+        value = int(raw)
+    except ValueError:
+        raise InvalidKeysError(f"{SCALE_ENV_VAR} must be an integer, got {raw!r}") from None
+    if value < 100:
+        raise InvalidKeysError(f"{SCALE_ENV_VAR} must be >= 100, got {value}")
+    return value
+
+
+def load(name: str, n: int | None = None, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """Load (and cache) dataset *name* at *n* keys.
+
+    The returned array is read-only; copy before mutating.
+    """
+    if n is None:
+        n = default_scale()
+    cache_key = (name, int(n), int(seed))
+    if cache_key not in _CACHE:
+        keys = generate(name, int(n), seed)
+        keys.setflags(write=False)
+        _CACHE[cache_key] = keys
+    return _CACHE[cache_key]
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def downsample(keys: np.ndarray, target: int) -> np.ndarray:
+    """Reduce *keys* to ~*target* entries by dropping every j-th key.
+
+    Mirrors the paper's Fig. 9 procedure: to remove ``n/j`` points,
+    delete every j-th key of the sorted dataset, repeating until the
+    target is reached.  Keeps the distribution's shape intact.
+    """
+    if target < 1:
+        raise InvalidKeysError("target must be >= 1")
+    out = np.asarray(keys)
+    while out.size > target:
+        excess = out.size - target
+        j = max(2, out.size // max(excess, 1))
+        mask = np.ones(out.size, dtype=bool)
+        mask[j - 1 :: j] = False
+        if mask.all():
+            break
+        out = out[mask]
+    return out
+
+
+def cardinality_series(
+    name: str,
+    fractions: tuple[float, ...] = (0.0625, 0.125, 0.25, 0.5, 1.0),
+    full_size: int | None = None,
+    seed: int = DEFAULT_SEED,
+) -> dict[int, np.ndarray]:
+    """The Fig. 9 cardinality ladder for one dataset.
+
+    The paper's ladder is 12.5M/25M/50M/100M/200M — i.e. fractions
+    1/16 … 1 of the full size; each smaller set is obtained by
+    downsampling the full one.
+    """
+    full = load(name, full_size, seed)
+    out: dict[int, np.ndarray] = {}
+    for fraction in fractions:
+        target = max(10, int(full.size * fraction))
+        out[target] = downsample(full, target)
+    return out

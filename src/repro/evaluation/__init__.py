@@ -1,0 +1,46 @@
+"""Experiment drivers, metrics, and reporting for reproducing the
+paper's evaluation."""
+
+from .metrics import (
+    PROMOTABLE_LEVEL,
+    LevelSnapshot,
+    improvement_pct,
+    node_reduction_pct,
+    promoted_keys,
+    promoted_percentage,
+    relative_increase_pct,
+    total_time_saved_ns,
+)
+from .reporting import ascii_table, format_float, results_dir, write_result
+from .runner import (
+    CSV_FAMILIES,
+    CsvExperimentRow,
+    LevelTimeRow,
+    run_alpha_sweep,
+    run_cardinality_sweep,
+    run_csv_experiment,
+    run_level_query_times,
+    run_readwrite_experiment,
+)
+
+__all__ = [
+    "CSV_FAMILIES",
+    "CsvExperimentRow",
+    "LevelSnapshot",
+    "LevelTimeRow",
+    "PROMOTABLE_LEVEL",
+    "ascii_table",
+    "format_float",
+    "improvement_pct",
+    "node_reduction_pct",
+    "promoted_keys",
+    "promoted_percentage",
+    "relative_increase_pct",
+    "results_dir",
+    "run_alpha_sweep",
+    "run_cardinality_sweep",
+    "run_csv_experiment",
+    "run_level_query_times",
+    "run_readwrite_experiment",
+    "total_time_saved_ns",
+]

@@ -1,0 +1,67 @@
+"""ASCII reporting helpers for the benchmark harness.
+
+The benches print each reproduced table/figure as text (no plotting
+dependency is available offline) and tee the same content into
+``results/<name>.txt`` so EXPERIMENTS.md can reference stable outputs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["ascii_table", "format_float", "results_dir", "write_result"]
+
+
+def results_dir() -> Path:
+    """Directory for result text files (created on demand).
+
+    Defaults to ``<repo>/results``; override with ``REPRO_RESULTS_DIR``.
+    """
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root is None:
+        path = Path(__file__).resolve().parents[3] / "results"
+    else:
+        path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Compact float formatting for table cells."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e6:
+        return f"{value:.3g}"
+    return f"{value:.{digits}f}"
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "+".join("-" * (w + 2) for w in widths)
+    out = [line]
+    out.append("|".join(f" {h:<{w}} " for h, w in zip(headers, widths)))
+    out.append(line)
+    for row in str_rows:
+        out.append("|".join(f" {c:<{w}} " for c, w in zip(row, widths)))
+    out.append(line)
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)
+
+
+def write_result(name: str, content: str) -> Path:
+    """Write *content* to ``results/<name>.txt`` and return the path."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path

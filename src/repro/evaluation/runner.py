@@ -1,0 +1,277 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each public function produces plain dataclass rows; the benchmark
+harness under ``benchmarks/`` formats them into the same tables/series
+the paper reports and asserts the expected *shape* (who wins, trends),
+not absolute nanoseconds (see DESIGN.md §3-4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cost_model import CostConstants
+from ..core.csv_algorithm import CsvConfig, apply_csv
+from ..core.exceptions import InvalidKeysError
+from ..datasets.loader import downsample, load
+from ..indexes import INDEX_FAMILIES, adapter_for
+from ..workloads.generators import sample_queries, split_read_write
+from ..workloads.readonly import profile_queries
+from ..workloads.readwrite import BatchObservation, run_insert_batches
+from .metrics import (
+    LevelSnapshot,
+    improvement_pct,
+    node_reduction_pct,
+    promoted_keys,
+    promoted_percentage,
+    relative_increase_pct,
+)
+
+__all__ = [
+    "CsvExperimentRow",
+    "LevelTimeRow",
+    "run_csv_experiment",
+    "run_alpha_sweep",
+    "run_cardinality_sweep",
+    "run_level_query_times",
+    "run_readwrite_experiment",
+]
+
+#: Indexes CSV integrates with (the paper's competitors).
+CSV_FAMILIES = ("lipp", "sali", "alex")
+
+#: Cap on the promoted-key query sample per experiment (keeps pure
+#: Python runtimes sane; the averages converge well before this).
+MAX_QUERY_SAMPLE = 3000
+
+
+@dataclass(frozen=True)
+class CsvExperimentRow:
+    """One (index, dataset, n, alpha) cell of the Figs. 6-8 grids."""
+
+    index_family: str
+    dataset: str
+    n: int
+    alpha: float
+    promotable_keys: int
+    promoted_keys: int
+    promoted_pct: float
+    avg_query_ns_before: float
+    avg_query_ns_after: float
+    query_improvement_pct: float
+    total_time_saved_ns: float
+    storage_increase_pct: float
+    node_reduction_pct: float
+    preprocessing_seconds: float
+    virtual_points: int
+    nodes_rebuilt: int
+    height_before: int
+    height_after: int
+
+
+def _build(family: str, keys: np.ndarray):
+    try:
+        cls = INDEX_FAMILIES[family]
+    except KeyError:
+        raise InvalidKeysError(
+            f"unknown index family {family!r}; choose from {sorted(INDEX_FAMILIES)}"
+        ) from None
+    return cls.build(keys)
+
+
+def run_csv_experiment(
+    family: str,
+    dataset: str,
+    n: int | None = None,
+    alpha: float = 0.1,
+    seed: int = 0,
+    constants: CostConstants | None = None,
+    csv_config: CsvConfig | None = None,
+    keys: np.ndarray | None = None,
+) -> CsvExperimentRow:
+    """Build → snapshot → CSV → snapshot → measure, for one setting.
+
+    Two structurally identical indexes are built: one is optimised in
+    place by CSV, the other stays original so "before" query costs are
+    measured on the authentic structure.  Queries target the promoted
+    keys, as in the paper's evaluation.
+    """
+    consts = constants or CostConstants()
+    if keys is None:
+        keys = load(dataset, n)
+    n = int(keys.size)
+    rng = np.random.default_rng(seed)
+
+    original = _build(family, keys)
+    enhanced = _build(family, keys)
+    size_before = original.size_bytes()
+    nodes_before = original.node_levels()
+    height_before = original.height()
+    snapshot_before = LevelSnapshot.capture(original, keys)
+
+    config = csv_config or CsvConfig(alpha=alpha)
+    start = time.perf_counter()
+    report = apply_csv(adapter_for(enhanced, consts), config)
+    preprocessing = time.perf_counter() - start
+
+    snapshot_after = LevelSnapshot.capture(enhanced, keys)
+    promoted = np.asarray(sorted(promoted_keys(snapshot_before, snapshot_after)), dtype=np.int64)
+    promotable = snapshot_before.promotable()
+    promoted_pct = promoted_percentage(snapshot_before, snapshot_after)
+
+    if promoted.size:
+        queries = sample_queries(promoted, min(MAX_QUERY_SAMPLE, promoted.size), rng, replace=False)
+        before_profile = profile_queries(original, queries, consts)
+        after_profile = profile_queries(enhanced, queries, consts)
+        avg_before = before_profile.avg_simulated_ns
+        avg_after = after_profile.avg_simulated_ns
+        total_saved = (avg_before - avg_after) * promoted.size
+    else:
+        avg_before = avg_after = 0.0
+        total_saved = 0.0
+
+    return CsvExperimentRow(
+        index_family=family,
+        dataset=dataset,
+        n=n,
+        alpha=config.alpha,
+        promotable_keys=len(promotable),
+        promoted_keys=int(promoted.size),
+        promoted_pct=promoted_pct,
+        avg_query_ns_before=avg_before,
+        avg_query_ns_after=avg_after,
+        query_improvement_pct=improvement_pct(avg_before, avg_after),
+        total_time_saved_ns=total_saved,
+        storage_increase_pct=relative_increase_pct(size_before, enhanced.size_bytes()),
+        node_reduction_pct=node_reduction_pct(nodes_before, enhanced.node_levels()),
+        preprocessing_seconds=preprocessing,
+        virtual_points=report.virtual_points_inserted,
+        nodes_rebuilt=report.nodes_rebuilt,
+        height_before=height_before,
+        height_after=enhanced.height(),
+    )
+
+
+def run_alpha_sweep(
+    family: str,
+    dataset: str,
+    alphas: tuple[float, ...] = (0.05, 0.1, 0.2, 0.4, 0.8),
+    n: int | None = None,
+    seed: int = 0,
+    constants: CostConstants | None = None,
+) -> list[CsvExperimentRow]:
+    """The α sweep behind Figs. 6, 7, 8 and Tables 3, 4."""
+    return [
+        run_csv_experiment(family, dataset, n=n, alpha=alpha, seed=seed, constants=constants)
+        for alpha in alphas
+    ]
+
+
+def run_cardinality_sweep(
+    family: str,
+    dataset: str,
+    fractions: tuple[float, ...] = (0.0625, 0.125, 0.25, 0.5, 1.0),
+    full_n: int | None = None,
+    alpha: float = 0.1,
+    seed: int = 0,
+    constants: CostConstants | None = None,
+) -> list[CsvExperimentRow]:
+    """The dataset-cardinality sweep behind Fig. 9."""
+    full = load(dataset, full_n)
+    rows = []
+    for fraction in fractions:
+        target = max(10, int(full.size * fraction))
+        keys = downsample(full, target)
+        rows.append(
+            run_csv_experiment(
+                family, dataset, alpha=alpha, seed=seed, constants=constants, keys=keys
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class LevelTimeRow:
+    """Average query cost of the keys stored at one level (Fig. 1)."""
+
+    dataset: str
+    level: int
+    n_keys_at_level: int
+    avg_simulated_ns: float
+
+
+def run_level_query_times(
+    family: str,
+    dataset: str,
+    n: int | None = None,
+    seed: int = 0,
+    constants: CostConstants | None = None,
+    per_level_sample: int = 500,
+) -> list[LevelTimeRow]:
+    """Per-level average query time on one dataset (Fig. 1)."""
+    consts = constants or CostConstants()
+    keys = load(dataset, n)
+    index = _build(family, keys)
+    histogram = index.level_histogram()
+    rng = np.random.default_rng(seed)
+    snapshot = LevelSnapshot.capture(index, keys)
+    by_level: dict[int, list[int]] = {}
+    for key, level in snapshot.levels.items():
+        by_level.setdefault(level, []).append(key)
+    rows = []
+    for level in sorted(by_level):
+        bucket = np.asarray(by_level[level], dtype=np.int64)
+        sample = sample_queries(bucket, min(per_level_sample, bucket.size), rng, replace=False)
+        profile = profile_queries(index, sample, consts)
+        rows.append(
+            LevelTimeRow(
+                dataset=dataset,
+                level=level,
+                n_keys_at_level=histogram.get(level, bucket.size),
+                avg_simulated_ns=profile.avg_simulated_ns,
+            )
+        )
+    return rows
+
+
+def run_readwrite_experiment(
+    family: str,
+    dataset: str,
+    n: int | None = None,
+    alpha: float = 0.1,
+    n_batches: int = 5,
+    seed: int = 0,
+    constants: CostConstants | None = None,
+) -> list[BatchObservation]:
+    """The read-write workload behind Fig. 10.
+
+    Builds original + enhanced indexes on a random half of the
+    dataset, applies CSV once to the enhanced one, then inserts the
+    other half in ``0.1 n`` batches into both, profiling the promoted
+    keys after every batch.
+    """
+    consts = constants or CostConstants()
+    keys = load(dataset, n)
+    rng = np.random.default_rng(seed)
+    split = split_read_write(keys, rng, n_batches=n_batches)
+
+    original = _build(family, split.build_keys)
+    enhanced = _build(family, split.build_keys)
+    before = LevelSnapshot.capture(original, split.build_keys)
+    apply_csv(adapter_for(enhanced, consts), CsvConfig(alpha=alpha))
+    after = LevelSnapshot.capture(enhanced, split.build_keys)
+
+    promoted = np.asarray(sorted(promoted_keys(before, after)), dtype=np.int64)
+    if promoted.size == 0:
+        # Fall back to the deepest original keys so the workload still
+        # exercises the region CSV targets.
+        promoted = np.asarray(sorted(before.promotable()), dtype=np.int64)
+    if promoted.size == 0:
+        promoted = split.build_keys
+    queries = sample_queries(
+        promoted, min(MAX_QUERY_SAMPLE, promoted.size), rng, replace=False
+    )
+    return run_insert_batches(enhanced, original, split.batches, queries, consts)

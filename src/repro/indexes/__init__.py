@@ -1,0 +1,47 @@
+"""Index substrates: the learned indexes CSV integrates with (ALEX,
+LIPP, SALI) plus classical and learned baselines."""
+
+from .adapters import AlexCsvAdapter, LippCsvAdapter, SaliCsvAdapter, adapter_for
+from .alex import AlexDataNode, AlexIndex, AlexInnerNode
+from .base import LearnedIndex, QueryStats
+from .btree import BPlusTree
+from .lipp import LippIndex, LippNode
+from .pgm import PGMIndex, PlaSegment, build_pla_segments
+from .rmi import RMIIndex
+from .sali import AccessTracker, FlattenedNode, SaliIndex
+from .sorted_array import SortedArrayIndex
+
+#: Registry used by the evaluation harness and the examples.
+INDEX_FAMILIES = {
+    "alex": AlexIndex,
+    "lipp": LippIndex,
+    "sali": SaliIndex,
+    "btree": BPlusTree,
+    "pgm": PGMIndex,
+    "rmi": RMIIndex,
+    "sorted_array": SortedArrayIndex,
+}
+
+__all__ = [
+    "AccessTracker",
+    "AlexCsvAdapter",
+    "AlexDataNode",
+    "AlexIndex",
+    "AlexInnerNode",
+    "BPlusTree",
+    "FlattenedNode",
+    "INDEX_FAMILIES",
+    "LearnedIndex",
+    "LippCsvAdapter",
+    "LippIndex",
+    "LippNode",
+    "PGMIndex",
+    "PlaSegment",
+    "QueryStats",
+    "RMIIndex",
+    "SaliCsvAdapter",
+    "SaliIndex",
+    "SortedArrayIndex",
+    "adapter_for",
+    "build_pla_segments",
+]

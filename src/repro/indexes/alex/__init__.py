@@ -1,0 +1,7 @@
+"""ALEX — an updatable adaptive learned index [2]."""
+
+from .data_node import AlexDataNode, InsertStatus
+from .index import AlexIndex
+from .inner_node import AlexInnerNode
+
+__all__ = ["AlexDataNode", "AlexIndex", "AlexInnerNode", "InsertStatus"]

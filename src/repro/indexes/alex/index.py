@@ -1,0 +1,306 @@
+"""ALEX index: adaptive bulk loading, lookups, inserts with
+expand/split, and the structural metrics the evaluation needs.
+
+The bulk loader recurses top-down (Section 2 of the ALEX paper in
+simplified form): a partition of keys becomes a data node when it is
+small or when its linear fit already yields a cheap expected search;
+otherwise an inner node with a model-derived fanout routes into
+recursively built children.  Inserts delegate to the gapped data
+nodes; a full node either expands in place (refitting its model) or —
+beyond a capacity cap — splits downward into a two-way inner node,
+which is how ALEX grows new levels under skewed insertion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ...core.cost_model import expected_search_steps
+from ...core.exceptions import IndexStateError
+from ...core.linear_model import LinearModel, fit_linear
+from ...core.loss import fit_and_loss
+from ..base import (
+    KEY_BYTES,
+    NODE_HEADER_BYTES,
+    POINTER_BYTES,
+    VALUE_BYTES,
+    LearnedIndex,
+    QueryStats,
+    prepare_key_values,
+)
+from .data_node import AlexDataNode, InsertStatus, TARGET_DENSITY
+from .inner_node import AlexInnerNode, AlexNode
+
+__all__ = ["AlexIndex"]
+
+#: Partitions at or below this size always become data nodes.
+MIN_PARTITION_FOR_INNER = 128
+#: A partition whose refitted model searches in no more than this many
+#: expected steps stays a data node even if large (ALEX adaptivity).
+MAX_DATA_NODE_SEARCH_STEPS = 3.0
+#: Upper bound on data node capacity; a full node at the cap splits
+#: downward instead of expanding further.
+MAX_DATA_NODE_CAPACITY = 8192
+#: Routing fanout bounds for inner nodes.
+MIN_FANOUT = 4
+MAX_FANOUT = 256
+
+MODEL_BYTES = 16
+
+
+def _min_max_model(keys: np.ndarray, fanout: int) -> LinearModel:
+    span = float(int(keys[-1]) - int(keys[0]))
+    if span <= 0:
+        return LinearModel(0.0, 0.0)
+    slope = (fanout - 1) / span
+    return LinearModel(slope, 0.0, pivot=int(keys[0]))
+
+
+class AlexIndex(LearnedIndex):
+    """Updatable Adaptive Learned indEX."""
+
+    name = "alex"
+
+    def __init__(self, root: AlexNode):
+        self._root = root
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, keys, values=None) -> "AlexIndex":
+        arr, vals = prepare_key_values(keys, values)
+        root = cls._build_node(arr, vals, level=1)
+        return cls(root)
+
+    @classmethod
+    def _build_node(cls, keys: np.ndarray, values: np.ndarray, level: int) -> AlexNode:
+        n = int(keys.size)
+        if n <= MIN_PARTITION_FOR_INNER:
+            return AlexDataNode.from_sorted(keys, values, level)
+        __, loss = fit_and_loss(keys)
+        if expected_search_steps(loss, n) <= MAX_DATA_NODE_SEARCH_STEPS:
+            return AlexDataNode.from_sorted(keys, values, level)
+        fanout = int(min(MAX_FANOUT, max(MIN_FANOUT, 2 ** int(np.ceil(np.log2(n / 256))))))
+        model = fit_linear(keys).scaled(fanout / n)
+        assignments = np.clip(
+            np.round(model.predict_array(keys)).astype(np.int64), 0, fanout - 1
+        )
+        if np.all(assignments == assignments[0]):
+            model = _min_max_model(keys, fanout)
+            assignments = np.clip(
+                np.round(model.predict_array(keys)).astype(np.int64), 0, fanout - 1
+            )
+        node = AlexInnerNode(model, fanout, level)
+        boundaries = np.nonzero(np.diff(assignments))[0] + 1
+        starts = np.concatenate([[0], boundaries]).astype(np.int64)
+        ends = np.concatenate([boundaries, [n]]).astype(np.int64)
+        slot_to_range: dict[int, tuple[int, int]] = {}
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            slot_to_range[int(assignments[start])] = (start, end)
+        for slot in range(fanout):
+            if slot in slot_to_range:
+                start, end = slot_to_range[slot]
+                if end - start == n:
+                    # Could not partition (all keys one slot even after
+                    # the fallback): force a data node to terminate.
+                    return AlexDataNode.from_sorted(keys, values, level)
+                child = cls._build_node(keys[start:end], values[start:end], level + 1)
+            else:
+                child = AlexDataNode.from_sorted(
+                    np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), level + 1
+                )
+            node.attach(slot, child)
+        return node
+
+    @property
+    def root(self) -> AlexNode:
+        return self._root
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _descend(self, key: int) -> tuple[AlexDataNode, int]:
+        node = self._root
+        levels = 1
+        while isinstance(node, AlexInnerNode):
+            node = node.child_for(key)
+            levels += 1
+        assert isinstance(node, AlexDataNode)
+        return node, levels
+
+    def lookup_stats(self, key: int) -> QueryStats:
+        key = int(key)
+        node, levels = self._descend(key)
+        found, value, steps = node.lookup(key)
+        return QueryStats(key=key, found=found, value=value, levels=levels, search_steps=steps)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int) -> None:
+        key = int(key)
+        value = int(value)
+        node, __ = self._descend(key)
+        status = node.insert(key, value)
+        if status is not InsertStatus.FULL:
+            return
+        if node.capacity < MAX_DATA_NODE_CAPACITY:
+            self._expand(node)
+        else:
+            self._split(node)
+        # One structural fix always leaves room for the pending insert.
+        node, __ = self._descend(key)
+        status = node.insert(key, value)
+        if status is InsertStatus.FULL:
+            raise IndexStateError("insert failed after node expansion/split")
+
+    def _replace(self, old: AlexNode, new: AlexNode) -> None:
+        parent = old.parent
+        if parent is None:
+            self._root = new
+            new.parent = None
+            new.parent_slot = None
+            return
+        assert old.parent_slot is not None
+        parent.attach(old.parent_slot, new)
+
+    def _expand(self, node: AlexDataNode) -> None:
+        """Rebuild at target density, at least doubling the capacity."""
+        keys, values = node.collect_arrays()
+        fresh = AlexDataNode.from_sorted(
+            keys,
+            values,
+            node.level,
+            density=TARGET_DENSITY,
+            min_capacity=2 * node.capacity,
+        )
+        self._replace(node, fresh)
+
+    def _split(self, node: AlexDataNode) -> None:
+        """Split downward: the slot gets a 2-way inner routing node."""
+        keys, values = node.collect_arrays()
+        mid = keys.size // 2
+        split_key = int(keys[mid])
+        # Threshold model pivoted on the split key: keys < split_key
+        # round to slot 0, keys >= split_key round to slot 1.  The
+        # slope is large enough that the nearest neighbours (distance
+        # >= 1) land clear of the 0.5 rounding boundary.
+        inner = AlexInnerNode(LinearModel(0.02, 0.51, pivot=split_key), 2, node.level)
+        left = AlexDataNode.from_sorted(keys[:mid], values[:mid], node.level + 1)
+        right = AlexDataNode.from_sorted(keys[mid:], values[mid:], node.level + 1)
+        assert inner.child_slot(int(keys[mid - 1])) == 0
+        assert inner.child_slot(split_key) == 1
+        inner.attach(0, left)
+        inner.attach(1, right)
+        self._replace(node, inner)
+
+    # ------------------------------------------------------------------
+    # Structure inspection
+    # ------------------------------------------------------------------
+    def _walk(self) -> Iterator[AlexNode]:
+        if isinstance(self._root, AlexInnerNode):
+            yield from self._root.walk()
+        else:
+            yield self._root
+
+    @property
+    def n_keys(self) -> int:
+        return sum(
+            node.n_keys for node in self._walk() if isinstance(node, AlexDataNode)
+        )
+
+    def height(self) -> int:
+        return max(node.level for node in self._walk())
+
+    def node_count(self) -> int:
+        return sum(1 for __ in self._walk())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for node in self._walk():
+            if isinstance(node, AlexInnerNode):
+                total += NODE_HEADER_BYTES + MODEL_BYTES + node.fanout * POINTER_BYTES
+            else:
+                # keys + values + occupancy bitmap
+                total += NODE_HEADER_BYTES + MODEL_BYTES
+                total += node.capacity * (KEY_BYTES + VALUE_BYTES) + node.capacity // 8
+        return total
+
+    def key_level(self, key: int) -> int:
+        key = int(key)
+        node, levels = self._descend(key)
+        found, __, __steps = node.lookup(key)
+        if not found:
+            raise IndexStateError(f"key {key} is not stored in this ALEX index")
+        return levels
+
+    def iter_keys(self) -> Iterator[int]:
+        # Data nodes partition the key space in routing order; walk()
+        # is unordered, so sort node key arrays by their first key.
+        chunks: list[np.ndarray] = []
+        for node in self._walk():
+            if isinstance(node, AlexDataNode) and node.n_keys:
+                chunks.append(node.collect_arrays()[0])
+        chunks.sort(key=lambda arr: int(arr[0]))
+        for chunk in chunks:
+            yield from (int(k) for k in chunk)
+
+    # ------------------------------------------------------------------
+    # Reports used by the evaluation harness
+    # ------------------------------------------------------------------
+    def range_query(self, low: int, high: int) -> list[tuple[int, int]]:
+        """All (key, value) pairs with ``low <= key <= high``.
+
+        Descends to the data node holding *low*, scans its occupied
+        slots in order, and hops to the next data node (in key order)
+        until the range is exhausted.
+        """
+        low = int(low)
+        high = int(high)
+        out: list[tuple[int, int]] = []
+        # Collect data nodes ordered by their first key; ALEX data
+        # nodes partition the key space so a linear merge is correct.
+        nodes = [
+            node
+            for node in self._walk()
+            if isinstance(node, AlexDataNode) and node.n_keys
+        ]
+        nodes.sort(key=lambda node: int(node.slot_keys[np.argmax(node.occupied)]))
+        for node in nodes:
+            keys, values = node.collect_arrays()
+            if int(keys[-1]) < low:
+                continue
+            if int(keys[0]) > high:
+                break
+            lo_pos = int(np.searchsorted(keys, low, side="left"))
+            hi_pos = int(np.searchsorted(keys, high, side="right"))
+            out.extend(
+                (int(k), int(v))
+                for k, v in zip(keys[lo_pos:hi_pos], values[lo_pos:hi_pos])
+            )
+        return out
+
+    def node_levels(self) -> list[int]:
+        """Level of every node (for the node-reduction metric)."""
+        return [node.level for node in self._walk()]
+
+    def level_histogram(self) -> dict[int, int]:
+        """Keys stored per level (data nodes carry the keys)."""
+        histogram: dict[int, int] = {}
+        for node in self._walk():
+            if isinstance(node, AlexDataNode) and node.n_keys:
+                histogram[node.level] = histogram.get(node.level, 0) + node.n_keys
+        return dict(sorted(histogram.items()))
+
+    def keys_at_or_below(self, level: int) -> np.ndarray:
+        """Keys stored at *level* or deeper ("promotable data")."""
+        out: list[np.ndarray] = []
+        for node in self._walk():
+            if isinstance(node, AlexDataNode) and node.n_keys and node.level >= level:
+                out.append(node.collect_arrays()[0])
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(out))

@@ -1,0 +1,171 @@
+"""Common interface for every index in the library.
+
+The paper's evaluation decomposes a lookup into (1) *traversal* — the
+levels descended to reach the node holding the key — and (2) *leaf-node
+search* — the probes needed inside that node because the model's
+prediction is inexact.  Every index here therefore reports a
+:class:`QueryStats` per lookup, from which the deterministic
+cost-model timer (:class:`repro.core.cost_model.CostConstants`)
+derives a simulated latency.  This is the substitution for the paper's
+wall-clock nanoseconds (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..core.cost_model import CostConstants
+from ..core.exceptions import IndexStateError, KeyNotFoundError
+from ..core.segment_stats import validate_keys
+
+__all__ = ["QueryStats", "LearnedIndex", "prepare_key_values"]
+
+#: Bytes charged per stored key / value / pointer in the size model.
+KEY_BYTES = 8
+VALUE_BYTES = 8
+POINTER_BYTES = 8
+NODE_HEADER_BYTES = 32
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Cost breakdown of a single lookup.
+
+    Attributes:
+        key: the queried key.
+        found: whether the key was present.
+        value: the associated value (None on miss).
+        levels: nodes traversed from the root inclusive (root hit = 1).
+        search_steps: in-node probes beyond the first model-predicted
+            slot (0 for precise-position indexes such as LIPP).
+    """
+
+    key: int
+    found: bool
+    value: int | None
+    levels: int
+    search_steps: int
+
+    def simulated_ns(self, constants: CostConstants | None = None) -> float:
+        """Deterministic latency under the cost model (see module doc)."""
+        consts = constants or CostConstants()
+        return consts.query_ns(self.levels, self.search_steps)
+
+
+def prepare_key_values(
+    keys: np.ndarray | list,
+    values: np.ndarray | list | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate keys and produce the parallel value array.
+
+    Values default to the keys themselves (the evaluation only needs a
+    payload to verify lookups return the right record).
+    """
+    arr = validate_keys(keys)
+    if values is None:
+        vals = arr.copy()
+    else:
+        vals = np.asarray(values, dtype=np.int64)
+        if vals.shape != arr.shape:
+            raise IndexStateError("values must parallel keys")
+    return arr, vals
+
+
+class LearnedIndex(ABC):
+    """Abstract base class for all indexes in :mod:`repro.indexes`.
+
+    Concrete classes implement point lookups with cost accounting,
+    plus (for the updatable indexes) inserts.  The structural
+    inspection hooks (:meth:`height`, :meth:`node_count`,
+    :meth:`key_level`, :meth:`size_bytes`) power the paper's
+    promoted-data / node-reduction / storage metrics.
+    """
+
+    #: Human-readable index family name, e.g. "lipp".
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Construction and updates
+    # ------------------------------------------------------------------
+    @classmethod
+    @abstractmethod
+    def build(cls, keys: np.ndarray | list, values: np.ndarray | list | None = None) -> "LearnedIndex":
+        """Bulk-load the index from sorted unique *keys*."""
+
+    @abstractmethod
+    def insert(self, key: int, value: int) -> None:
+        """Insert one key (indexes without update support raise)."""
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def lookup_stats(self, key: int) -> QueryStats:
+        """Point lookup returning the full cost breakdown."""
+
+    def lookup(self, key: int) -> int | None:
+        """Point lookup returning the value, or None if absent."""
+        return self.lookup_stats(key).value
+
+    def lookup_strict(self, key: int) -> int:
+        """Point lookup that raises :class:`KeyNotFoundError` on a miss."""
+        stats = self.lookup_stats(key)
+        if not stats.found:
+            raise KeyNotFoundError(key)
+        assert stats.value is not None
+        return stats.value
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup_stats(int(key)).found
+
+    # ------------------------------------------------------------------
+    # Structure inspection
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def n_keys(self) -> int:
+        """Number of (real) keys currently stored."""
+
+    @abstractmethod
+    def height(self) -> int:
+        """Number of levels; a root-only index has height 1."""
+
+    @abstractmethod
+    def node_count(self) -> int:
+        """Total number of nodes (inner + leaf/data)."""
+
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Modelled storage footprint (keys, values, slots, pointers)."""
+
+    @abstractmethod
+    def key_level(self, key: int) -> int:
+        """Level (root = 1) of the node in which *key* is stored."""
+
+    @abstractmethod
+    def iter_keys(self) -> Iterator[int]:
+        """Yield every stored key in ascending order."""
+
+    # ------------------------------------------------------------------
+    # Convenience batch helpers used by the evaluation harness
+    # ------------------------------------------------------------------
+    def key_levels(self, keys: np.ndarray) -> np.ndarray:
+        """Vector of :meth:`key_level` over *keys*."""
+        return np.asarray([self.key_level(int(k)) for k in keys], dtype=np.int64)
+
+    def batch_stats(self, keys: np.ndarray) -> list[QueryStats]:
+        """:meth:`lookup_stats` over *keys* (order preserved)."""
+        return [self.lookup_stats(int(k)) for k in keys]
+
+    def verify_against(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Assert every (key, value) pair is retrievable — test helper."""
+        for key, value in zip(keys.tolist(), values.tolist()):
+            got = self.lookup(int(key))
+            if got != int(value):
+                raise IndexStateError(
+                    f"{self.name}: lookup({key}) returned {got}, expected {value}"
+                )

@@ -1,0 +1,239 @@
+"""B+-tree baseline.
+
+The classical structure learned indexes are benchmarked against
+(Section 6.1 notes ALEX/LIPP/SALI all outperform it).  Leaves hold
+``(key, value)`` runs and are chained; inner nodes hold separator keys.
+Lookup cost: one level per node on the root-to-leaf path plus a binary
+search inside each visited node.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+import numpy as np
+
+from ..core.exceptions import IndexStateError
+from .base import (
+    KEY_BYTES,
+    NODE_HEADER_BYTES,
+    POINTER_BYTES,
+    VALUE_BYTES,
+    LearnedIndex,
+    QueryStats,
+    prepare_key_values,
+)
+
+__all__ = ["BPlusTree"]
+
+DEFAULT_ORDER = 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.values: list[int] = []
+        self.next: "_Leaf | None" = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []          # separator keys
+        self.children: list[object] = []   # len(keys) + 1 children
+
+
+class BPlusTree(LearnedIndex):
+    """An in-memory B+-tree with configurable fan-out *order*."""
+
+    name = "btree"
+
+    def __init__(self, order: int = DEFAULT_ORDER):
+        if order < 4:
+            raise IndexStateError("order must be >= 4")
+        self._order = order
+        self._root: object = _Leaf()
+        self._height = 1
+        self._n = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, keys, values=None, order: int = DEFAULT_ORDER) -> "BPlusTree":
+        arr, vals = prepare_key_values(keys, values)
+        tree = cls(order=order)
+        tree._bulk_load(arr, vals)
+        return tree
+
+    def _bulk_load(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Pack leaves to ~70% fill and build inner levels bottom-up."""
+        per_leaf = max(2, int(self._order * 0.7))
+        leaves: list[_Leaf] = []
+        for start in range(0, keys.size, per_leaf):
+            leaf = _Leaf()
+            leaf.keys = [int(k) for k in keys[start:start + per_leaf]]
+            leaf.values = [int(v) for v in values[start:start + per_leaf]]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        if not leaves:
+            leaves = [_Leaf()]
+        level: list[object] = list(leaves)
+        first_keys = [leaf.keys[0] if leaf.keys else 0 for leaf in leaves]
+        height = 1
+        per_inner = max(2, int(self._order * 0.7))
+        while len(level) > 1:
+            parents: list[object] = []
+            parent_first_keys: list[int] = []
+            for start in range(0, len(level), per_inner):
+                group = level[start:start + per_inner]
+                node = _Inner()
+                node.children = list(group)
+                node.keys = [first_keys[start + i] for i in range(1, len(group))]
+                parents.append(node)
+                parent_first_keys.append(first_keys[start])
+            level = parents
+            first_keys = parent_first_keys
+            height += 1
+        self._root = level[0]
+        self._height = height
+        self._n = int(keys.size)
+
+    # ------------------------------------------------------------------
+    def _descend(self, key: int) -> tuple[_Leaf, int, int]:
+        """Walk to the leaf for *key*; returns (leaf, levels, steps)."""
+        node = self._root
+        levels = 1
+        steps = 0
+        while isinstance(node, _Inner):
+            idx = bisect.bisect_right(node.keys, key)
+            steps += max(1, int(np.ceil(np.log2(len(node.keys) + 1))) if node.keys else 1)
+            node = node.children[idx]
+            levels += 1
+        assert isinstance(node, _Leaf)
+        return node, levels, steps
+
+    def lookup_stats(self, key: int) -> QueryStats:
+        key = int(key)
+        leaf, levels, steps = self._descend(key)
+        pos = bisect.bisect_left(leaf.keys, key)
+        steps += max(1, int(np.ceil(np.log2(len(leaf.keys) + 1))) if leaf.keys else 1)
+        if pos < len(leaf.keys) and leaf.keys[pos] == key:
+            return QueryStats(key=key, found=True, value=leaf.values[pos], levels=levels, search_steps=steps)
+        return QueryStats(key=key, found=False, value=None, levels=levels, search_steps=steps)
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int) -> None:
+        key = int(key)
+        split = self._insert_into(self._root, key, int(value))
+        if split is not None:
+            sep, right = split
+            new_root = _Inner()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+
+    def _insert_into(self, node: object, key: int, value: int):
+        """Recursive insert; returns (separator, new_right_sibling) on split."""
+        if isinstance(node, _Leaf):
+            pos = bisect.bisect_left(node.keys, key)
+            if pos < len(node.keys) and node.keys[pos] == key:
+                node.values[pos] = value
+                return None
+            node.keys.insert(pos, key)
+            node.values.insert(pos, value)
+            self._n += 1
+            if len(node.keys) > self._order:
+                mid = len(node.keys) // 2
+                right = _Leaf()
+                right.keys = node.keys[mid:]
+                right.values = node.values[mid:]
+                right.next = node.next
+                node.keys = node.keys[:mid]
+                node.values = node.values[:mid]
+                node.next = right
+                return right.keys[0], right
+            return None
+        assert isinstance(node, _Inner)
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert_into(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) > self._order:
+            mid = len(node.keys) // 2
+            right_inner = _Inner()
+            right_inner.keys = node.keys[mid + 1:]
+            right_inner.children = node.children[mid + 1:]
+            sep_up = node.keys[mid]
+            node.keys = node.keys[:mid]
+            node.children = node.children[:mid + 1]
+            return sep_up, right_inner
+        return None
+
+    # ------------------------------------------------------------------
+    def range_query(self, low: int, high: int) -> list[tuple[int, int]]:
+        """All (key, value) pairs with ``low <= key <= high``."""
+        leaf, __, __steps = self._descend(int(low))
+        out: list[tuple[int, int]] = []
+        node: _Leaf | None = leaf
+        while node is not None:
+            for k, v in zip(node.keys, node.values):
+                if k > high:
+                    return out
+                if k >= low:
+                    out.append((k, v))
+            node = node.next
+        return out
+
+    @property
+    def n_keys(self) -> int:
+        return self._n
+
+    def height(self) -> int:
+        return self._height
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, _Inner):
+                stack.extend(node.children)
+        return count
+
+    def size_bytes(self) -> int:
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Inner):
+                total += NODE_HEADER_BYTES + len(node.keys) * KEY_BYTES
+                total += len(node.children) * POINTER_BYTES
+                stack.extend(node.children)
+            else:
+                assert isinstance(node, _Leaf)
+                total += NODE_HEADER_BYTES + len(node.keys) * (KEY_BYTES + VALUE_BYTES)
+                total += POINTER_BYTES
+        return total
+
+    def key_level(self, key: int) -> int:
+        __, levels, __steps = self._descend(int(key))
+        return levels
+
+    def iter_keys(self) -> Iterator[int]:
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        assert isinstance(node, _Leaf)
+        leaf: _Leaf | None = node
+        while leaf is not None:
+            yield from leaf.keys
+            leaf = leaf.next

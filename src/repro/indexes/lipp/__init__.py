@@ -1,0 +1,6 @@
+"""LIPP — Updatable Learned Index with Precise Positions [33]."""
+
+from .index import LippIndex
+from .node import SLOT_CHILD, SLOT_DATA, SLOT_EMPTY, LippNode
+
+__all__ = ["LippIndex", "LippNode", "SLOT_CHILD", "SLOT_DATA", "SLOT_EMPTY"]

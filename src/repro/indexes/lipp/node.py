@@ -1,0 +1,248 @@
+"""LIPP node: a precise-position gapped slot array (Wu et al. [33]).
+
+Every node owns ``m`` slots addressed *directly* by its linear model:
+``slot = clamp(round(model(key)))``.  A slot is EMPTY, holds one DATA
+entry, or points to a CHILD node built recursively from the keys that
+collided there.  Because the model prediction *is* the position, LIPP
+has no in-node search component — lookups cost traversal only, which
+is why the paper uses the pure loss value as LIPP's CSV cost condition
+(Section 5.1).
+
+Model choice at build time follows LIPP's FMCD idea in simplified
+form: an OLS fit over the keys' ranks, scaled to the slot count, with
+a min-max (endpoint interpolation) fallback whenever the OLS model
+would dump every key into a single slot (which would not terminate).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ...core.linear_model import LinearModel, fit_linear
+
+__all__ = ["SLOT_EMPTY", "SLOT_DATA", "SLOT_CHILD", "LippNode"]
+
+SLOT_EMPTY = 0
+SLOT_DATA = 1
+SLOT_CHILD = 2
+
+#: Slots allocated per key at build time.  1.0 reproduces the compact
+#: allocation of the original LIPP; CSV-rebuilt nodes instead size the
+#: array to the smoothed point set, materialising the virtual points
+#: as reusable gaps.
+DEFAULT_SLOT_FACTOR = 1.0
+
+MIN_SLOTS = 2
+
+
+def _fallback_model(keys: np.ndarray, m: int) -> LinearModel:
+    """Endpoint interpolation: first key → slot 0, last key → slot m-1.
+
+    Guarantees at least two distinct predicted slots for n >= 2 keys,
+    so recursion on conflict groups strictly shrinks.
+    """
+    span = float(int(keys[-1]) - int(keys[0]))
+    slope = (m - 1) / span
+    return LinearModel(slope, 0.0, pivot=int(keys[0]))
+
+
+class LippNode:
+    """One LIPP node (slot array + model + children)."""
+
+    __slots__ = (
+        "model",
+        "slot_type",
+        "slot_keys",
+        "slot_values",
+        "children",
+        "level",
+        "parent",
+        "parent_slot",
+        "n_subtree_keys",
+        "virtual_slots",
+        "conflicts_since_build",
+        "access_count",
+    )
+
+    def __init__(self, m: int, model: LinearModel, level: int):
+        self.model = model
+        self.slot_type = np.zeros(m, dtype=np.uint8)
+        self.slot_keys = np.zeros(m, dtype=np.int64)
+        self.slot_values = np.zeros(m, dtype=np.int64)
+        self.children: dict[int, "LippNode"] = {}
+        self.level = level
+        self.parent: "LippNode | None" = None
+        self.parent_slot: int | None = None
+        self.n_subtree_keys = 0
+        #: Slots that exist because of CSV virtual points (gap budget).
+        self.virtual_slots = 0
+        #: Insert-time conflicts accumulated since this node was built;
+        #: drives LIPP's subtree-rebuild adjustment.
+        self.conflicts_since_build = 0
+        #: Lookup traversals through this node (used by SALI's
+        #: probability model; plain LIPP ignores it).
+        self.access_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_keys(
+        cls,
+        keys: np.ndarray,
+        values: np.ndarray,
+        level: int,
+        slot_factor: float = DEFAULT_SLOT_FACTOR,
+        m: int | None = None,
+        model: LinearModel | None = None,
+    ) -> "LippNode":
+        """Build a node (and conflict children, recursively).
+
+        With *m*/*model* given, the caller controls the layout — this is
+        how CSV rebuilds install the smoothed model over an array sized
+        to the smoothed point set.
+        """
+        n = int(keys.size)
+        if m is None:
+            m = max(MIN_SLOTS, int(np.ceil(n * slot_factor)))
+        if model is None:
+            if n == 1:
+                model = LinearModel(0.0, 0.0)
+            else:
+                scaled = fit_linear(keys).scaled((m - 1) / max(n - 1, 1))
+                model = scaled
+        node = cls(m, model, level)
+        node.n_subtree_keys = n
+        if n == 0:
+            return node
+        predicted = np.clip(
+            np.round(model.predict_array(keys)).astype(np.int64), 0, m - 1
+        )
+        if n >= 2 and np.all(predicted == predicted[0]):
+            # Degenerate model: every key in one slot.  Fall back to
+            # min-max interpolation (two or more distinct slots).
+            node.model = _fallback_model(keys, m)
+            predicted = np.clip(
+                np.round(node.model.predict_array(keys)).astype(np.int64), 0, m - 1
+            )
+        # Group consecutive keys sharing a predicted slot.
+        boundaries = np.nonzero(np.diff(predicted))[0] + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [n]])
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            slot = int(predicted[start])
+            if end - start == 1:
+                node.slot_type[slot] = SLOT_DATA
+                node.slot_keys[slot] = keys[start]
+                node.slot_values[slot] = values[start]
+            else:
+                child = cls.from_keys(
+                    keys[start:end], values[start:end], level + 1, slot_factor
+                )
+                child.parent = node
+                child.parent_slot = slot
+                node.slot_type[slot] = SLOT_CHILD
+                node.children[slot] = child
+        return node
+
+    @property
+    def m(self) -> int:
+        """Slot count of this node."""
+        return int(self.slot_type.size)
+
+    @property
+    def has_subtree(self) -> bool:
+        return bool(self.children)
+
+    @property
+    def conflict_count(self) -> int:
+        """Number of slots that overflowed into children."""
+        return len(self.children)
+
+    # ------------------------------------------------------------------
+    # Queries / updates (single-node step; traversal drives recursion)
+    # ------------------------------------------------------------------
+    def slot_of(self, key: int) -> int:
+        """The precise slot the model assigns to *key*."""
+        return self.model.predict_clamped(key, self.m)
+
+    def make_conflict_child(
+        self, slot: int, key: int, value: int, slot_factor: float = DEFAULT_SLOT_FACTOR
+    ) -> "LippNode":
+        """Turn a DATA *slot* into a CHILD holding both entries."""
+        pair = sorted([(int(self.slot_keys[slot]), int(self.slot_values[slot])), (key, value)])
+        child_keys = np.asarray([p[0] for p in pair], dtype=np.int64)
+        child_vals = np.asarray([p[1] for p in pair], dtype=np.int64)
+        child = LippNode.from_keys(child_keys, child_vals, self.level + 1, slot_factor)
+        child.parent = self
+        child.parent_slot = slot
+        self.slot_type[slot] = SLOT_CHILD
+        self.slot_keys[slot] = 0
+        self.slot_values[slot] = 0
+        self.children[slot] = child
+        return child
+
+    def relevel(self, level: int) -> None:
+        """Set this subtree's levels as if the root were at *level*."""
+        delta = level - self.level
+        if delta == 0:
+            return
+        for node in self.walk():
+            node.level += delta
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def local_entries(self) -> Iterator[tuple[int, int]]:
+        """Yield (key, value) pairs stored directly in this node."""
+        for slot in np.nonzero(self.slot_type == SLOT_DATA)[0]:
+            yield int(self.slot_keys[slot]), int(self.slot_values[slot])
+
+    def iter_entries(self) -> Iterator[tuple[int, int]]:
+        """Yield (key, value) pairs of the subtree in ascending order."""
+        for slot in range(self.m):
+            kind = int(self.slot_type[slot])
+            if kind == SLOT_DATA:
+                yield int(self.slot_keys[slot]), int(self.slot_values[slot])
+            elif kind == SLOT_CHILD:
+                yield from self.children[slot].iter_entries()
+
+    def collect_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Subtree keys and values as sorted parallel arrays."""
+        pairs = list(self.iter_entries())
+        if not pairs:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        keys = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        values = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        return keys, values
+
+    def walk(self) -> Iterator["LippNode"]:
+        """Yield every node of the subtree (pre-order)."""
+        stack: list[LippNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def visit_data_levels(self, visit: Callable[[int, int], None]) -> None:
+        """Call ``visit(key, level)`` for every key of the subtree."""
+        for node in self.walk():
+            for key, __ in node.local_entries():
+                visit(key, node.level)
+
+    def subtree_loss(self) -> float:
+        """Aggregate per-node SSE over the subtree (Eq. 2 restricted).
+
+        For each node, the error of a key is the distance between its
+        predicted slot and... zero: LIPP keys sit exactly where the
+        model puts them, so per-node loss counts *conflicts* instead —
+        the squared size of each conflict group, matching how unresolved
+        prediction mass pushes keys into children.
+        """
+        total = 0.0
+        for node in self.walk():
+            for child in node.children.values():
+                total += float(child.n_subtree_keys) ** 2
+        return total

@@ -1,0 +1,118 @@
+"""Two-stage Recursive Model Index (Kraska et al. [12]).
+
+The original learned-index architecture: a root linear model routes a
+key to one of ``branching`` second-stage linear models; each
+second-stage model remembers the worst under/over-prediction observed
+over its keys at build time, so a lookup binary-searches only inside
+``[pos + min_err, pos + max_err]``.  Static (bulk-load only), used as
+a baseline in the benches.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..core.linear_model import LinearModel, fit_linear
+from .base import (
+    KEY_BYTES,
+    NODE_HEADER_BYTES,
+    VALUE_BYTES,
+    LearnedIndex,
+    QueryStats,
+    prepare_key_values,
+)
+
+__all__ = ["RMIIndex"]
+
+
+@dataclass(frozen=True)
+class _SecondStage:
+    model: LinearModel
+    min_err: int
+    max_err: int
+
+
+class RMIIndex(LearnedIndex):
+    """Classic 2-stage RMI with per-model error bounds."""
+
+    name = "rmi"
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray, branching: int):
+        self._keys = keys
+        self._values = values
+        self._branching = max(1, int(branching))
+        n = int(keys.size)
+        root = fit_linear(keys)  # predicts rank in [0, n)
+        self._root = root.scaled(self._branching / max(n, 1))
+        assignments = np.clip(
+            np.round(self._root.predict_array(keys)).astype(np.int64),
+            0,
+            self._branching - 1,
+        )
+        self._stages: list[_SecondStage] = []
+        for model_idx in range(self._branching):
+            mask = assignments == model_idx
+            if not np.any(mask):
+                self._stages.append(_SecondStage(LinearModel(0.0, 0.0), 0, 0))
+                continue
+            segment_keys = keys[mask]
+            segment_pos = np.nonzero(mask)[0].astype(np.float64)
+            model = fit_linear(segment_keys, segment_pos)
+            err = np.round(model.predict_array(segment_keys)).astype(np.int64) - np.nonzero(mask)[0]
+            self._stages.append(
+                _SecondStage(model=model, min_err=int(err.min()), max_err=int(err.max()))
+            )
+
+    @classmethod
+    def build(cls, keys, values=None, branching: int | None = None) -> "RMIIndex":
+        arr, vals = prepare_key_values(keys, values)
+        if branching is None:
+            branching = max(1, arr.size // 512)
+        return cls(arr, vals, branching)
+
+    def insert(self, key: int, value: int) -> None:
+        raise NotImplementedError("this RMI reproduction is static (bulk-load only)")
+
+    def lookup_stats(self, key: int) -> QueryStats:
+        key = int(key)
+        n = int(self._keys.size)
+        stage_idx = min(max(int(round(self._root.predict(key))), 0), self._branching - 1)
+        stage = self._stages[stage_idx]
+        predicted = int(round(stage.model.predict(key)))
+        lo = min(max(predicted - stage.max_err, 0), n)
+        hi = min(max(predicted - stage.min_err + 1, 0), n)
+        if lo >= hi:
+            lo, hi = 0, n
+        keys_list = self._keys
+        pos = int(np.searchsorted(keys_list[lo:hi], key)) + lo
+        steps = max(1, int(np.ceil(np.log2((hi - lo) + 1))))
+        found = pos < n and int(keys_list[pos]) == key
+        value = int(self._values[pos]) if found else None
+        return QueryStats(key=key, found=found, value=value, levels=2, search_steps=steps)
+
+    @property
+    def n_keys(self) -> int:
+        return int(self._keys.size)
+
+    def height(self) -> int:
+        return 2
+
+    def node_count(self) -> int:
+        return 1 + self._branching
+
+    def size_bytes(self) -> int:
+        per_model = 8 + 8 + 2 * 8  # slope, intercept, error bounds
+        total = NODE_HEADER_BYTES + per_model  # root
+        total += self._branching * per_model
+        total += self._keys.size * (KEY_BYTES + VALUE_BYTES)
+        return total
+
+    def key_level(self, key: int) -> int:
+        return 2
+
+    def iter_keys(self) -> Iterator[int]:
+        yield from (int(k) for k in self._keys)

@@ -1,0 +1,7 @@
+"""SALI — Scalable Adaptive Learned Index framework [9]."""
+
+from .flatten import FlattenedNode
+from .index import SaliIndex
+from .probability import AccessTracker
+
+__all__ = ["AccessTracker", "FlattenedNode", "SaliIndex"]

@@ -1,0 +1,138 @@
+"""Flattened subtree node for SALI (Ge et al. [9]).
+
+SALI identifies frequently accessed subtrees and *flattens* them: the
+subtree's keys move into a single node indexed by an error-bounded
+piecewise-linear segmentation (the same construction as the PGM
+index, Section 2.2).  A lookup then costs one traversal step into the
+flattened node plus a segment search — this extra search step is the
+trade-off the paper highlights when comparing CSV to SALI's own
+flattening.
+
+The node duck-types the parts of :class:`~repro.indexes.lipp.node.
+LippNode` that the shared traversal/metric code touches (``children``,
+``level``, ``iter_entries`` …) so it can live inside a LIPP subtree.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+import numpy as np
+
+from ...core.exceptions import IndexStateError
+from ..pgm import PlaSegment, build_pla_segments
+
+__all__ = ["FlattenedNode"]
+
+DEFAULT_EPSILON = 8
+
+
+class FlattenedNode:
+    """A PGM-segmented flat node replacing a hot LIPP subtree."""
+
+    __slots__ = (
+        "keys",
+        "values",
+        "segments",
+        "segment_first_keys",
+        "epsilon",
+        "level",
+        "parent",
+        "parent_slot",
+        "children",
+        "n_subtree_keys",
+        "access_count",
+        "virtual_slots",
+    )
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray, level: int, epsilon: int = DEFAULT_EPSILON):
+        if keys.size == 0:
+            raise IndexStateError("cannot flatten an empty subtree")
+        self.keys = keys
+        self.values = values
+        self.epsilon = int(epsilon)
+        self.level = level
+        self.parent = None
+        self.parent_slot: int | None = None
+        #: Duck-typing shims so LIPP's generic walks terminate here.
+        self.children: dict[int, object] = {}
+        self.n_subtree_keys = int(keys.size)
+        self.access_count = 0
+        self.virtual_slots = 0
+        self._rebuild_segments()
+
+    def _rebuild_segments(self) -> None:
+        self.segments = build_pla_segments(self.keys, self.epsilon)
+        self.segment_first_keys = [seg.first_key for seg in self.segments]
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Slot-count equivalent (dense layout)."""
+        return int(self.keys.size)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.segments)
+
+    def lookup(self, key: int) -> tuple[bool, int | None, int]:
+        """``(found, value, search_steps)``.
+
+        Steps = locating the segment (binary search over segment first
+        keys) + the ε-bounded search inside it.
+        """
+        key = int(key)
+        seg_idx = bisect.bisect_right(self.segment_first_keys, key) - 1
+        seg_idx = max(seg_idx, 0)
+        seg: PlaSegment = self.segments[seg_idx]
+        steps = max(1, int(np.ceil(np.log2(len(self.segments) + 1))))
+        predicted = seg.predict(key)
+        lo = max(predicted - self.epsilon, 0)
+        hi = min(predicted + self.epsilon + 1, int(self.keys.size))
+        pos = int(np.searchsorted(self.keys[lo:hi], key)) + lo
+        steps += max(1, int(np.ceil(np.log2(hi - lo + 1))))
+        if pos < self.keys.size and int(self.keys[pos]) == key:
+            return True, int(self.values[pos]), steps
+        return False, None, steps
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert (rare path: flattening targets read-hot subtrees)."""
+        key = int(key)
+        pos = int(np.searchsorted(self.keys, key))
+        if pos < self.keys.size and int(self.keys[pos]) == key:
+            self.values[pos] = value
+            return
+        self.keys = np.insert(self.keys, pos, key)
+        self.values = np.insert(self.values, pos, int(value))
+        self.n_subtree_keys += 1
+        self._rebuild_segments()
+
+    # ------------------------------------------------------------------
+    # LIPP-walk compatibility
+    # ------------------------------------------------------------------
+    def local_entries(self) -> Iterator[tuple[int, int]]:
+        """All entries live directly in a flattened node."""
+        yield from self.iter_entries()
+
+    def iter_entries(self) -> Iterator[tuple[int, int]]:
+        """Yield (key, value) pairs in ascending key order."""
+        for key, value in zip(self.keys.tolist(), self.values.tolist()):
+            yield int(key), int(value)
+
+    def collect_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Keys and values as sorted parallel arrays."""
+        return self.keys.copy(), self.values.copy()
+
+    def walk(self):
+        """A flattened node is a leaf of the LIPP-style walk."""
+        yield self
+
+    def visit_data_levels(self, visit) -> None:
+        """Call ``visit(key, level)`` for every stored key."""
+        for key in self.keys.tolist():
+            visit(int(key), self.level)
+
+    def subtree_loss(self) -> float:
+        """Flattened nodes hold no conflict subtrees (loss 0)."""
+        return 0.0

@@ -1,0 +1,46 @@
+"""Access-probability model for SALI (Ge et al. [9]).
+
+SALI drives its structural adaptations with per-node access
+probabilities estimated from the query workload.  We keep the faithful
+core — every traversal bumps the counter of each node on the path, and
+a node's probability is its share of all recorded traversals — plus an
+exponential-decay refresh so shifting workloads age out (SALI's
+probability model is likewise workload-windowed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["AccessTracker"]
+
+
+class AccessTracker:
+    """Aggregates access counts recorded on nodes into probabilities."""
+
+    def __init__(self) -> None:
+        self.total_queries = 0
+
+    def record_path(self, path: Iterable) -> None:
+        """Credit one query's traversal to every node on *path*."""
+        self.total_queries += 1
+        for node in path:
+            node.access_count += 1
+
+    def probability(self, node) -> float:
+        """Estimated probability a query traverses *node*."""
+        if self.total_queries == 0:
+            return 0.0
+        return node.access_count / self.total_queries
+
+    def decay(self, factor: float = 0.5, nodes: Iterable = ()) -> None:
+        """Age the statistics by *factor* (0 forgets everything)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("decay factor must be in [0, 1]")
+        self.total_queries = int(self.total_queries * factor)
+        for node in nodes:
+            node.access_count = int(node.access_count * factor)
+
+    def is_hot(self, node, min_probability: float) -> bool:
+        """Whether *node* qualifies as a flattening target."""
+        return self.probability(node) >= min_probability

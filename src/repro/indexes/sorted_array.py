@@ -1,0 +1,86 @@
+"""Binary-searched sorted array — the simplest possible baseline.
+
+One "node", ``log2(n)`` search steps per lookup.  Used as the ground
+truth oracle in tests and as the classical lower bound on structural
+complexity in benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .base import (
+    KEY_BYTES,
+    NODE_HEADER_BYTES,
+    VALUE_BYTES,
+    LearnedIndex,
+    QueryStats,
+    prepare_key_values,
+)
+
+__all__ = ["SortedArrayIndex"]
+
+
+class SortedArrayIndex(LearnedIndex):
+    """Dense sorted array with binary search."""
+
+    name = "sorted_array"
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray):
+        self._keys = keys
+        self._values = values
+
+    @classmethod
+    def build(cls, keys, values=None) -> "SortedArrayIndex":
+        arr, vals = prepare_key_values(keys, values)
+        return cls(arr, vals)
+
+    def insert(self, key: int, value: int) -> None:
+        pos = int(np.searchsorted(self._keys, key))
+        if pos < self._keys.size and int(self._keys[pos]) == int(key):
+            self._values[pos] = value
+            return
+        self._keys = np.insert(self._keys, pos, key)
+        self._values = np.insert(self._values, pos, value)
+
+    def lookup_stats(self, key: int) -> QueryStats:
+        key = int(key)
+        # Count the probes an iterative binary search performs.
+        lo, hi = 0, self._keys.size - 1
+        steps = 0
+        found = False
+        value: int | None = None
+        while lo <= hi:
+            steps += 1
+            mid = (lo + hi) // 2
+            mid_key = int(self._keys[mid])
+            if mid_key == key:
+                found = True
+                value = int(self._values[mid])
+                break
+            if mid_key < key:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return QueryStats(key=key, found=found, value=value, levels=1, search_steps=steps)
+
+    @property
+    def n_keys(self) -> int:
+        return int(self._keys.size)
+
+    def height(self) -> int:
+        return 1
+
+    def node_count(self) -> int:
+        return 1
+
+    def size_bytes(self) -> int:
+        return NODE_HEADER_BYTES + self._keys.size * (KEY_BYTES + VALUE_BYTES)
+
+    def key_level(self, key: int) -> int:
+        return 1
+
+    def iter_keys(self) -> Iterator[int]:
+        yield from (int(k) for k in self._keys)

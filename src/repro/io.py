@@ -1,0 +1,115 @@
+"""Persistence helpers: key sets, smoothing results, experiment rows.
+
+Everything writes plain ``.npz`` / ``.json`` / ``.csv`` so the
+artefacts are inspectable without this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .core.exceptions import InvalidKeysError
+from .core.segment_stats import validate_keys
+from .core.smoothing import SmoothingResult
+
+__all__ = [
+    "save_keys",
+    "load_keys",
+    "save_smoothing_result",
+    "load_smoothing_result",
+    "export_rows_csv",
+]
+
+
+def save_keys(path: str | Path, keys: np.ndarray, values: np.ndarray | None = None) -> Path:
+    """Save a key (and optional value) array to a compressed ``.npz``."""
+    path = Path(path)
+    arr = validate_keys(keys)
+    payload = {"keys": arr}
+    if values is not None:
+        vals = np.asarray(values, dtype=np.int64)
+        if vals.shape != arr.shape:
+            raise InvalidKeysError("values must parallel keys")
+        payload["values"] = vals
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_keys(path: str | Path) -> tuple[np.ndarray, np.ndarray | None]:
+    """Load ``(keys, values-or-None)`` written by :func:`save_keys`."""
+    with np.load(Path(path)) as data:
+        keys = validate_keys(data["keys"])
+        values = data["values"].astype(np.int64) if "values" in data else None
+    return keys, values
+
+
+def save_smoothing_result(path: str | Path, result: SmoothingResult) -> Path:
+    """Persist a smoothing run (arrays in .npz, scalars in the header)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        original_keys=result.original_keys,
+        points=result.points,
+        virtual_points=np.asarray(result.virtual_points, dtype=np.int64),
+        loss_trace=np.asarray(result.loss_trace, dtype=np.float64),
+        scalars=np.asarray(
+            [
+                result.original_loss,
+                result.final_loss,
+                result.model.slope,
+                result.model.intercept,
+                float(result.model.pivot),
+                float(result.budget),
+                1.0 if result.stopped_early else 0.0,
+                result.elapsed_seconds,
+            ],
+            dtype=np.float64,
+        ),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_smoothing_result(path: str | Path) -> SmoothingResult:
+    """Rehydrate a :class:`SmoothingResult` written by
+    :func:`save_smoothing_result`."""
+    from .core.linear_model import LinearModel
+
+    with np.load(Path(path)) as data:
+        scalars = data["scalars"]
+        return SmoothingResult(
+            original_keys=data["original_keys"].astype(np.int64),
+            virtual_points=[int(v) for v in data["virtual_points"]],
+            points=data["points"].astype(np.int64),
+            original_loss=float(scalars[0]),
+            final_loss=float(scalars[1]),
+            model=LinearModel(float(scalars[2]), float(scalars[3]), int(scalars[4])),
+            budget=int(scalars[5]),
+            loss_trace=[float(x) for x in data["loss_trace"]],
+            stopped_early=bool(scalars[6]),
+            elapsed_seconds=float(scalars[7]),
+        )
+
+
+def export_rows_csv(path: str | Path, rows: Sequence[object]) -> Path:
+    """Write a sequence of dataclass rows (e.g.
+    :class:`~repro.evaluation.runner.CsvExperimentRow`) to CSV."""
+    path = Path(path)
+    rows = list(rows)
+    if not rows:
+        raise InvalidKeysError("no rows to export")
+    first = rows[0]
+    if not is_dataclass(first):
+        raise InvalidKeysError("rows must be dataclass instances")
+    fieldnames = list(asdict(first).keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(asdict(row))
+    return path

@@ -1,0 +1,57 @@
+"""Read-only query execution with cost aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cost_model import CostConstants
+from ..core.exceptions import InvalidKeysError
+from ..indexes.base import LearnedIndex, QueryStats
+
+__all__ = ["QueryProfile", "profile_queries"]
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Aggregated cost of one query batch over one index.
+
+    ``simulated ns`` figures come from the deterministic cost model
+    (see DESIGN.md §3); they are the per-query latencies the paper
+    reports from wall-clock measurement.
+    """
+
+    n_queries: int
+    hit_rate: float
+    avg_levels: float
+    avg_search_steps: float
+    avg_simulated_ns: float
+    total_simulated_ns: float
+
+    @classmethod
+    def from_stats(
+        cls, stats: list[QueryStats], constants: CostConstants | None = None
+    ) -> "QueryProfile":
+        if not stats:
+            raise InvalidKeysError("cannot profile an empty query batch")
+        consts = constants or CostConstants()
+        ns = np.asarray([s.simulated_ns(consts) for s in stats])
+        return cls(
+            n_queries=len(stats),
+            hit_rate=float(np.mean([s.found for s in stats])),
+            avg_levels=float(np.mean([s.levels for s in stats])),
+            avg_search_steps=float(np.mean([s.search_steps for s in stats])),
+            avg_simulated_ns=float(ns.mean()),
+            total_simulated_ns=float(ns.sum()),
+        )
+
+
+def profile_queries(
+    index: LearnedIndex,
+    query_keys: np.ndarray,
+    constants: CostConstants | None = None,
+) -> QueryProfile:
+    """Run *query_keys* against *index* and aggregate the costs."""
+    stats = index.batch_stats(np.asarray(query_keys))
+    return QueryProfile.from_stats(stats, constants)

@@ -1,0 +1,114 @@
+"""Tests for candidate enumeration/filtering and the Fig. 3/4 curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import (
+    all_free_values,
+    derivative_curve,
+    enumerate_gaps,
+    filtered_candidates,
+    loss_curve,
+)
+from repro.core.segment_stats import SegmentStats
+
+
+class TestEnumerateGaps:
+    def test_counts_and_bounds(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        gaps = list(enumerate_gaps(stats))
+        # toy keys [2,6,7,9,10,11,13,23,28,29]: free runs 3-5, 8, 12,
+        # 14-22, 24-27 → 5 gaps.
+        assert len(gaps) == 5
+        assert (gaps[0].low, gaps[0].high) == (3, 5)
+        assert (gaps[-1].low, gaps[-1].high) == (24, 27)
+
+    def test_adjacent_keys_produce_no_gap(self):
+        stats = SegmentStats(np.array([1, 2, 3, 10]))
+        gaps = list(enumerate_gaps(stats))
+        assert len(gaps) == 1
+        assert (gaps[0].low, gaps[0].high) == (4, 9)
+
+    def test_rank_matches_insertion_rank(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        for gap in enumerate_gaps(stats):
+            assert gap.rank == stats.insertion_rank(gap.low)
+
+
+class TestAllFreeValues:
+    def test_excludes_existing_keys(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        free = all_free_values(stats)
+        assert not set(free.tolist()) & set(toy_keys.tolist())
+
+    def test_bounded_by_extremes(self, toy_keys):
+        free = all_free_values(SegmentStats(toy_keys))
+        assert free.min() > toy_keys[0]
+        assert free.max() < toy_keys[-1]
+
+    def test_count(self, toy_keys):
+        free = all_free_values(SegmentStats(toy_keys))
+        expected = (toy_keys[-1] - toy_keys[0] - 1) - (toy_keys.size - 2)
+        assert free.size == expected
+
+    def test_dense_keys_have_no_free_values(self):
+        assert all_free_values(SegmentStats(np.arange(10))).size == 0
+
+
+class TestFilteredCandidates:
+    def test_contains_global_minimum(self, toy_keys):
+        """The filter must keep the best virtual point (Fig. 3's 23-ish)."""
+        stats = SegmentStats(toy_keys)
+        values, losses = loss_curve(stats)
+        best_value = int(values[np.argmin(losses)])
+        best_loss = float(losses.min())
+        cands = dict(filtered_candidates(stats))
+        assert min(cands.values()) == pytest.approx(best_loss, rel=1e-9)
+        assert any(
+            loss == pytest.approx(best_loss, rel=1e-9) for loss in cands.values()
+        ), best_value
+
+    def test_is_subset_of_free_values(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        free = set(all_free_values(stats).tolist())
+        assert {v for v, __ in filtered_candidates(stats)} <= free
+
+    def test_filter_reduces_candidate_count(self, small_keys):
+        stats = SegmentStats(small_keys)
+        filtered = filtered_candidates(stats)
+        assert len(filtered) < all_free_values(stats).size
+
+
+class TestCurves:
+    def test_loss_curve_covers_every_free_value(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        values, losses = loss_curve(stats)
+        assert values.size == all_free_values(stats).size
+        assert losses.shape == values.shape
+
+    def test_loss_curve_matches_scalar_evaluation(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        values, losses = loss_curve(stats)
+        for v, loss in list(zip(values.tolist(), losses.tolist()))[::3]:
+            assert loss == pytest.approx(stats.evaluate(v).loss, rel=1e-9)
+
+    def test_derivative_curve_signs_bracket_minimum(self, toy_keys):
+        """Within the gap holding the global optimum, the derivative
+        crosses zero (Fig. 4's kv1 crossing)."""
+        stats = SegmentStats(toy_keys)
+        values, losses = loss_curve(stats)
+        best = int(values[np.argmin(losses)])
+        dvalues, derivs = derivative_curve(stats)
+        gap_mask = np.abs(dvalues - best) <= 5
+        signs = np.sign(derivs[gap_mask])
+        assert signs.min() < 0 < signs.max() or np.any(signs == 0)
+
+    def test_fig3_minimum_location(self, toy_keys):
+        """The toy curve's minimum falls in the large 14-22 gap, like
+        the paper's Fig. 3 minimum at value 23 inside its big gap."""
+        stats = SegmentStats(toy_keys)
+        values, losses = loss_curve(stats)
+        best = int(values[np.argmin(losses)])
+        assert 14 <= best <= 22

@@ -1,0 +1,142 @@
+"""Tests for the Algorithm 2 engine, using an instrumented fake adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.csv_algorithm import CsvConfig, apply_csv
+from repro.core.exceptions import SmoothingBudgetError
+from repro.core.smoothing import SmoothingResult
+
+
+class FakeAdapter:
+    """Scripted adapter: a dict level → list of (name, keys, delta)."""
+
+    def __init__(self, tree: dict[int, list[tuple[str, np.ndarray, float]]]):
+        self.tree = tree
+        self.collected: list[str] = []
+        self.rebuilt: list[str] = []
+        self.visit_order: list[int] = []
+
+    def max_level(self) -> int:
+        return max(self.tree) if self.tree else 0
+
+    def subtree_handles(self, level: int):
+        self.visit_order.append(level)
+        return [entry for entry in self.tree.get(level, [])]
+
+    def collect_keys(self, handle) -> np.ndarray:
+        self.collected.append(handle[0])
+        return handle[1]
+
+    def cost_delta(self, handle, smoothing: SmoothingResult) -> float:
+        return handle[2]
+
+    def rebuild(self, handle, smoothing: SmoothingResult) -> int:
+        self.rebuilt.append(handle[0])
+        return int(handle[1].size)
+
+
+def _keys(rng, n=30):
+    return np.unique(rng.integers(0, 10_000, n * 2))[:n]
+
+
+class TestCsvConfig:
+    def test_defaults(self):
+        cfg = CsvConfig()
+        assert cfg.alpha == 0.1
+        assert cfg.stop_level == 2
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -1.0])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(SmoothingBudgetError):
+            CsvConfig(alpha=alpha)
+
+    def test_rejects_bad_stop_level(self):
+        with pytest.raises(SmoothingBudgetError):
+            CsvConfig(stop_level=0)
+
+
+class TestApplyCsv:
+    def test_bottom_up_level_order(self, rng):
+        adapter = FakeAdapter(
+            {
+                4: [("d", _keys(rng), -1.0)],
+                3: [("c", _keys(rng), -1.0)],
+                2: [("b", _keys(rng), -1.0)],
+            }
+        )
+        apply_csv(adapter, CsvConfig(alpha=0.1))
+        assert adapter.visit_order == [4, 3, 2]
+
+    def test_cost_threshold_gates_rebuild(self, rng):
+        adapter = FakeAdapter(
+            {
+                2: [
+                    ("good", _keys(rng), -5.0),
+                    ("bad", _keys(rng), +5.0),
+                    ("zero", _keys(rng), 0.0),
+                ]
+            }
+        )
+        report = apply_csv(adapter, CsvConfig(alpha=0.2, cost_threshold=0.0))
+        assert adapter.rebuilt == ["good"]
+        assert report.nodes_rebuilt == 1
+        assert report.nodes_examined == 3
+
+    def test_negative_threshold_is_stricter(self, rng):
+        adapter = FakeAdapter({2: [("mild", _keys(rng), -1.0)]})
+        report = apply_csv(adapter, CsvConfig(alpha=0.2, cost_threshold=-10.0))
+        assert report.nodes_rebuilt == 0
+
+    def test_min_subtree_keys_skips_tiny(self):
+        adapter = FakeAdapter({2: [("tiny", np.array([1, 2]), -1.0)]})
+        report = apply_csv(adapter, CsvConfig(alpha=0.5, min_subtree_keys=3))
+        assert report.nodes_examined == 0
+        assert adapter.collected == ["tiny"]  # collected, then skipped
+
+    def test_max_subtree_keys_skips_huge(self, rng):
+        adapter = FakeAdapter({2: [("huge", _keys(rng, 100), -1.0)]})
+        report = apply_csv(adapter, CsvConfig(alpha=0.1, max_subtree_keys=50))
+        assert report.nodes_examined == 0
+
+    def test_start_level_clamped_to_max(self, rng):
+        adapter = FakeAdapter({2: [("b", _keys(rng), -1.0)]})
+        apply_csv(adapter, CsvConfig(alpha=0.1, start_level=99))
+        assert adapter.visit_order == [2]
+
+    def test_stop_level_limits_depth(self, rng):
+        adapter = FakeAdapter(
+            {3: [("c", _keys(rng), -1.0)], 2: [("b", _keys(rng), -1.0)]}
+        )
+        apply_csv(adapter, CsvConfig(alpha=0.1, stop_level=3))
+        assert adapter.visit_order == [3]
+
+    def test_report_aggregates(self, rng):
+        keys_a = _keys(rng)
+        keys_b = _keys(rng)
+        adapter = FakeAdapter({2: [("a", keys_a, -1.0), ("b", keys_b, -2.0)]})
+        report = apply_csv(adapter, CsvConfig(alpha=0.2))
+        # The fake adapter's rebuild() reports every key as promoted.
+        assert report.keys_promoted == keys_a.size + keys_b.size
+        assert report.nodes_rebuilt == 2
+        assert report.preprocessing_seconds > 0.0
+        summary = report.summary()
+        assert summary["nodes_rebuilt"] == 2
+        assert summary["nodes_examined"] == 2
+
+    def test_records_capture_losses(self, rng):
+        keys = _keys(rng)
+        adapter = FakeAdapter({2: [("a", keys, -1.0)]})
+        report = apply_csv(adapter, CsvConfig(alpha=0.2))
+        (record,) = report.records
+        assert record.level == 2
+        assert record.n_keys == keys.size
+        assert record.loss_after <= record.loss_before
+        assert record.rebuilt
+
+    def test_empty_adapter_no_records(self):
+        report = apply_csv(FakeAdapter({}), CsvConfig(alpha=0.1))
+        assert report.nodes_examined == 0
+        assert report.keys_promoted == 0

@@ -1,0 +1,127 @@
+"""Tests for the derivative-based candidate filter (Section 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import enumerate_gaps
+from repro.core.derivative import GapContext, loss_derivative
+from repro.core.segment_stats import SegmentStats
+
+key_sets = st.lists(
+    st.integers(min_value=0, max_value=2_000), min_size=4, max_size=30, unique=True
+).map(sorted)
+
+
+def _gap_for_value(stats: SegmentStats, value: int) -> GapContext:
+    for gap in enumerate_gaps(stats):
+        if gap.low <= value <= gap.high:
+            return gap
+    raise AssertionError(f"no gap contains {value}")
+
+
+class TestGapContext:
+    def test_loss_matches_stats_evaluate(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        for gap in enumerate_gaps(stats):
+            for value in range(gap.low, gap.high + 1):
+                assert gap.loss(value) == pytest.approx(
+                    stats.evaluate(value).loss, rel=1e-9
+                )
+
+    def test_derivative_matches_finite_difference(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        eps = 1e-4
+        for gap in enumerate_gaps(stats):
+            mid = (gap.low + gap.high) / 2.0
+            numeric = (gap.loss(mid + eps) - gap.loss(mid - eps)) / (2 * eps)
+            assert gap.derivative(mid) == pytest.approx(numeric, rel=1e-3, abs=1e-3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=key_sets)
+    def test_derivative_finite_difference_property(self, keys):
+        stats = SegmentStats(np.asarray(keys, dtype=np.int64))
+        gaps = list(enumerate_gaps(stats))
+        if not gaps:
+            return
+        gap = max(gaps, key=lambda g: g.length)
+        probe = (gap.low + gap.high) / 2.0
+        eps = max(1e-6, (gap.high - gap.low) * 1e-6)
+        numeric = (gap.loss(probe + eps) - gap.loss(probe - eps)) / (2 * eps)
+        assert gap.derivative(probe) == pytest.approx(numeric, rel=5e-2, abs=1e-2)
+
+    def test_stationary_minimum_is_local_min(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        for gap in enumerate_gaps(stats):
+            if gap.length <= 2:
+                continue
+            star = gap.stationary_minimum()
+            if star is None or not (gap.low < star < gap.high):
+                continue
+            d_low = gap.derivative(gap.low)
+            d_high = gap.derivative(gap.high)
+            if d_low * d_high < 0:
+                assert gap.loss(star) <= gap.loss(gap.low) + 1e-9
+                assert gap.loss(star) <= gap.loss(gap.high) + 1e-9
+
+    def test_length(self):
+        stats = SegmentStats(np.array([0, 10]))
+        (gap,) = list(enumerate_gaps(stats))
+        assert gap.length == 9
+        assert (gap.low, gap.high) == (1, 9)
+
+
+class TestCandidateValues:
+    def test_short_subsequence_keeps_all(self):
+        stats = SegmentStats(np.array([0, 3, 100, 101, 104]))
+        gap = _gap_for_value(stats, 1)  # gap {1, 2}: length 2
+        assert gap.candidate_values() == [1, 2]
+
+    def test_same_sign_keeps_endpoints_only(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        for gap in enumerate_gaps(stats):
+            if gap.length <= 2:
+                continue
+            d_low = gap.derivative(gap.low)
+            d_high = gap.derivative(gap.high)
+            if d_low * d_high >= 0:
+                assert gap.candidate_values() == [gap.low, gap.high]
+
+    def test_opposite_sign_returns_interior(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        found_interior = False
+        for gap in enumerate_gaps(stats):
+            if gap.length <= 2:
+                continue
+            if gap.derivative(gap.low) * gap.derivative(gap.high) < 0:
+                values = gap.candidate_values()
+                assert all(gap.low <= v <= gap.high for v in values)
+                found_interior = True
+        assert found_interior, "toy set should contain a zero-crossing gap"
+
+    def test_best_candidate_is_brute_force_min(self, toy_keys):
+        """Filtered candidates never miss the true per-gap minimum."""
+        stats = SegmentStats(toy_keys)
+        for gap in enumerate_gaps(stats):
+            brute = min(range(gap.low, gap.high + 1), key=gap.loss)
+            __, best_loss = gap.best_candidate()
+            assert best_loss == pytest.approx(gap.loss(brute), rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=key_sets)
+    def test_best_candidate_brute_force_property(self, keys):
+        stats = SegmentStats(np.asarray(keys, dtype=np.int64))
+        for gap in enumerate_gaps(stats):
+            brute_loss = min(gap.loss(v) for v in range(gap.low, gap.high + 1))
+            __, best_loss = gap.best_candidate()
+            assert best_loss == pytest.approx(brute_loss, rel=1e-7, abs=1e-7)
+
+
+class TestLossDerivativeHelper:
+    def test_matches_gap_context(self, toy_keys):
+        stats = SegmentStats(toy_keys)
+        gap = _gap_for_value(stats, 15)
+        assert loss_derivative(stats, 15) == pytest.approx(gap.derivative(15), rel=1e-9)

@@ -1,0 +1,70 @@
+"""Tests for the Gap Insertion (GI) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SmoothingBudgetError
+from repro.core.gap_insertion import build_gap_insertion
+
+
+class TestBuildGapInsertion:
+    def test_every_key_is_findable(self, small_keys):
+        layout = build_gap_insertion(small_keys, gap_factor=1.5)
+        for key in small_keys.tolist():
+            found, __ = layout.lookup_steps(key)
+            assert found, key
+
+    def test_missing_key_not_found(self, small_keys):
+        layout = build_gap_insertion(small_keys, gap_factor=1.5)
+        missing = int(small_keys[0]) - 3
+        found, __ = layout.lookup_steps(missing)
+        assert not found
+
+    def test_n_keys_preserved(self, small_keys):
+        layout = build_gap_insertion(small_keys)
+        assert layout.n_keys == small_keys.size
+
+    def test_capacity_scales_with_gap_factor(self, small_keys):
+        small = build_gap_insertion(small_keys, gap_factor=1.1)
+        large = build_gap_insertion(small_keys, gap_factor=2.0)
+        assert large.capacity > small.capacity
+
+    def test_storage_expansion_reported(self, small_keys):
+        layout = build_gap_insertion(small_keys, gap_factor=1.5)
+        assert layout.storage_expansion_pct > 0.0
+
+    def test_larger_factor_fewer_overflows(self, clustered_keys):
+        tight = build_gap_insertion(clustered_keys, gap_factor=1.05)
+        roomy = build_gap_insertion(clustered_keys, gap_factor=2.0)
+        assert roomy.overflow_rate_pct <= tight.overflow_rate_pct
+
+    def test_overflow_keys_cost_more_steps(self, clustered_keys):
+        layout = build_gap_insertion(clustered_keys, gap_factor=1.2)
+        if layout.overflow.size == 0:
+            pytest.skip("no overflow on this draw")
+        slot_key = None
+        for candidate in clustered_keys.tolist():
+            if candidate not in set(layout.overflow.tolist()):
+                predicted = layout.model.predict_clamped(candidate, layout.capacity)
+                if int(layout.slots[predicted]) == candidate:
+                    slot_key = candidate
+                    break
+        assert slot_key is not None
+        __, direct_steps = layout.lookup_steps(slot_key)
+        __, overflow_steps = layout.lookup_steps(int(layout.overflow[0]))
+        assert overflow_steps > direct_steps
+
+    def test_rejects_gap_factor_below_one(self, small_keys):
+        with pytest.raises(SmoothingBudgetError):
+            build_gap_insertion(small_keys, gap_factor=0.9)
+
+    def test_overflow_sorted(self, clustered_keys):
+        layout = build_gap_insertion(clustered_keys, gap_factor=1.1)
+        assert np.all(np.diff(layout.overflow) > 0) or layout.overflow.size <= 1
+
+    def test_slots_hold_keys_or_sentinel(self, small_keys):
+        layout = build_gap_insertion(small_keys)
+        placed = layout.slots[layout.slots >= 0]
+        assert set(placed.tolist()) <= set(small_keys.tolist())

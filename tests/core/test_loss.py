@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.loss (Eq. 1 / Eq. 2 reference paths)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidKeysError
+from repro.core.linear_model import LinearModel
+from repro.core.loss import (
+    exact_refit_loss,
+    exact_refit_model,
+    fit_and_loss,
+    hierarchy_loss,
+    sse_loss,
+)
+
+
+class TestSseLoss:
+    def test_manual_example(self):
+        # f(k) = k, keys [0, 1, 4] → errors [0, 0, 2] → SSE 4
+        model = LinearModel(1.0, 0.0)
+        assert sse_loss([0, 1, 4], model) == pytest.approx(4.0)
+
+    def test_zero_for_perfect_model(self):
+        model = LinearModel(0.5, 0.0)
+        assert sse_loss([0, 2, 4, 6], model) == pytest.approx(0.0)
+
+    def test_custom_positions(self):
+        model = LinearModel(1.0, 0.0)
+        assert sse_loss([1, 2], model, positions=[2, 2]) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidKeysError):
+            sse_loss([], LinearModel(1.0, 0.0))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(InvalidKeysError):
+            sse_loss([1, 2], LinearModel(1.0, 0.0), positions=[1])
+
+
+class TestFitAndLoss:
+    def test_loss_is_minimal(self, small_keys):
+        model, loss = fit_and_loss(small_keys)
+        worse = LinearModel(model.slope * 1.001, model.intercept)
+        assert sse_loss(small_keys, worse) >= loss
+
+    def test_fig2_value(self, toy_keys):
+        __, loss = fit_and_loss(toy_keys)
+        # The toy set reproduces the paper's original loss of ~8.33.
+        assert loss == pytest.approx(8.36, abs=0.05)
+
+
+class TestHierarchyLoss:
+    def test_sums_segment_losses(self):
+        seg_a = np.array([0, 1, 4])
+        seg_b = np.array([10, 11, 30])
+        expected = fit_and_loss(seg_a)[1] + fit_and_loss(seg_b)[1]
+        assert hierarchy_loss([seg_a, seg_b]) == pytest.approx(expected)
+
+    def test_linear_segments_are_free(self):
+        assert hierarchy_loss([np.arange(5), np.arange(100, 200, 10)]) == pytest.approx(0.0)
+
+    def test_partitioning_never_increases_loss(self, small_keys):
+        whole = hierarchy_loss([small_keys])
+        half = small_keys.size // 2
+        split = hierarchy_loss([small_keys[:half], small_keys[half:]])
+        assert split <= whole + 1e-9
+
+
+class TestExactOracles:
+    def test_exact_model_matches_float_fit(self):
+        keys = [0, 3, 7, 20]
+        slope, intercept = exact_refit_model(keys)
+        model, __ = fit_and_loss(np.asarray(keys))
+        assert float(slope) == pytest.approx(model.slope, rel=1e-12)
+        assert float(intercept) == pytest.approx(model.intercept, rel=1e-12)
+
+    def test_exact_loss_is_fraction(self):
+        loss = exact_refit_loss([0, 1, 5])
+        assert isinstance(loss, Fraction)
+
+    def test_exact_loss_zero_on_arithmetic_progression(self):
+        assert exact_refit_loss(list(range(0, 50, 5))) == 0
+
+    def test_exact_loss_custom_positions(self):
+        # Positions equal predictions of line y = x/2: zero loss.
+        assert exact_refit_loss([0, 2, 4], positions=[0, 1, 2]) == 0
+
+    def test_exact_handles_identical_keys(self):
+        # Degenerate variance: falls back to constant model.
+        loss = exact_refit_loss([5, 5, 5], positions=[0, 1, 2])
+        assert loss == Fraction(2)  # errors (-1, 0, 1) around the mean

@@ -1,0 +1,65 @@
+"""Tests for the poisoning (loss-maximising) counterpart of smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SmoothingBudgetError
+from repro.core.loss import exact_refit_loss
+from repro.core.poisoning import poison_keys
+from repro.core.smoothing import smooth_keys
+
+
+class TestPoisonKeys:
+    def test_loss_never_decreases(self, toy_keys):
+        result = poison_keys(toy_keys, budget=3)
+        assert result.final_loss >= result.original_loss
+
+    def test_trace_monotone_increasing(self, toy_keys):
+        result = poison_keys(toy_keys, budget=4)
+        trace = result.loss_trace
+        assert all(b >= a for a, b in zip(trace, trace[1:]))
+
+    def test_budget_respected(self, toy_keys):
+        assert len(poison_keys(toy_keys, budget=2).poison_points) <= 2
+
+    def test_final_loss_matches_exact_refit(self, toy_keys):
+        result = poison_keys(toy_keys, budget=3)
+        exact = float(exact_refit_loss(result.points.tolist()))
+        assert result.final_loss == pytest.approx(exact, rel=1e-9)
+
+    def test_opposite_of_smoothing(self, small_keys):
+        """Same machinery, opposite directions (Section 2.3)."""
+        smoothed = smooth_keys(small_keys, budget=10)
+        poisoned = poison_keys(small_keys, budget=10)
+        assert smoothed.final_loss < smoothed.original_loss
+        assert poisoned.final_loss > poisoned.original_loss
+
+    def test_points_within_range(self, small_keys):
+        result = poison_keys(small_keys, budget=5)
+        for p in result.poison_points:
+            assert small_keys[0] < p < small_keys[-1]
+
+    def test_poison_points_avoid_existing(self, small_keys):
+        result = poison_keys(small_keys, budget=5)
+        assert not set(result.poison_points) & set(small_keys.tolist())
+
+    def test_linear_keys_can_still_be_poisoned(self):
+        """Even a perfect fit degrades when a skewed point lands in a gap."""
+        keys = np.arange(0, 100, 5)
+        result = poison_keys(keys, budget=3)
+        assert result.final_loss > 0.0
+
+    def test_rejects_single_key(self):
+        with pytest.raises(SmoothingBudgetError):
+            poison_keys([7], budget=1)
+
+    def test_loss_increase_pct(self, toy_keys):
+        result = poison_keys(toy_keys, budget=3)
+        assert result.loss_increase_pct > 0.0
+
+    def test_dense_keys_no_candidates(self):
+        result = poison_keys(np.arange(20), budget=3)
+        assert result.poison_points == []
+        assert result.final_loss == result.original_loss

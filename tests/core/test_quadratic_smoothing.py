@@ -1,0 +1,80 @@
+"""Tests for the quadratic smoothing extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quadratic_smoothing import (
+    quadratic_fit_and_loss,
+    smooth_keys_quadratic,
+)
+from repro.core.smoothing import smooth_keys
+
+
+@pytest.fixture()
+def curved_keys() -> np.ndarray:
+    """Keys whose CDF is genuinely quadratic (square growth)."""
+    return np.unique((np.linspace(1, 60, 80) ** 2).astype(np.int64))
+
+
+class TestQuadraticFit:
+    def test_zero_loss_on_quadratic_cdf(self, curved_keys):
+        __, loss = quadratic_fit_and_loss(curved_keys)
+        # rank ≈ sqrt(key): not quadratic in key; use the inverse view.
+        keys = np.arange(0, 80, dtype=np.int64) ** 2 + 7
+        __, loss = quadratic_fit_and_loss(np.unique(keys))
+        from repro.core.loss import fit_and_loss
+
+        __, linear_loss = fit_and_loss(np.unique(keys))
+        assert loss < linear_loss
+
+    def test_linear_data_fits_exactly(self):
+        __, loss = quadratic_fit_and_loss(np.arange(0, 500, 5))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_beats_linear_on_curved(self, curved_keys):
+        from repro.core.loss import fit_and_loss
+
+        __, linear_loss = fit_and_loss(curved_keys)
+        __, quad_loss = quadratic_fit_and_loss(curved_keys)
+        assert quad_loss < linear_loss
+
+
+class TestSmoothKeysQuadratic:
+    def test_loss_trace_decreases(self, toy_keys):
+        result = smooth_keys_quadratic(toy_keys, alpha=0.5)
+        trace = result.loss_trace
+        assert all(b < a for a, b in zip(trace, trace[1:]))
+
+    def test_budget_respected(self, toy_keys):
+        assert smooth_keys_quadratic(toy_keys, budget=2).n_virtual <= 2
+
+    def test_points_contain_originals(self, toy_keys):
+        result = smooth_keys_quadratic(toy_keys, alpha=0.5)
+        assert set(toy_keys.tolist()) <= set(result.points.tolist())
+
+    def test_final_loss_matches_reference_fit(self, toy_keys):
+        result = smooth_keys_quadratic(toy_keys, alpha=0.5)
+        __, reference = quadratic_fit_and_loss(result.points)
+        assert result.final_loss == pytest.approx(reference, rel=1e-6)
+
+    def test_starts_below_linear_on_curved_cdf(self, curved_keys):
+        linear = smooth_keys(curved_keys, budget=8)
+        quadratic = smooth_keys_quadratic(curved_keys, budget=8)
+        # The quadratic model's pre-smoothing loss is already below the
+        # linear one (the paper's motivation for richer functions).
+        assert quadratic.original_loss < linear.original_loss
+
+    def test_never_increases_loss(self, small_keys):
+        result = smooth_keys_quadratic(small_keys[:60], budget=5)
+        assert result.final_loss <= result.original_loss + 1e-9
+
+    def test_dense_keys_stop_early(self):
+        result = smooth_keys_quadratic(np.arange(25), budget=3)
+        assert result.stopped_early
+        assert result.n_virtual == 0
+
+    def test_improvement_pct(self, toy_keys):
+        result = smooth_keys_quadratic(toy_keys, alpha=0.5)
+        assert 0.0 <= result.loss_improvement_pct <= 100.0

@@ -1,0 +1,188 @@
+"""Tests for Algorithm 1 (greedy), the exhaustive solver, and the
+fixed-model ablation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import SmoothingBudgetError
+from repro.core.loss import exact_refit_loss, fit_and_loss
+from repro.core.segment_stats import SegmentStats
+from repro.core.smoothing import (
+    resolve_budget,
+    smooth_keys,
+    smooth_keys_exhaustive,
+    smooth_keys_fixed_model,
+)
+
+key_sets = st.lists(
+    st.integers(min_value=0, max_value=3_000), min_size=4, max_size=40, unique=True
+).map(sorted)
+
+
+class TestResolveBudget:
+    def test_alpha_path(self):
+        assert resolve_budget(100, alpha=0.1, budget=None) == 10
+
+    def test_alpha_floor_is_one(self):
+        assert resolve_budget(5, alpha=0.05, budget=None) == 1
+
+    def test_budget_path(self):
+        assert resolve_budget(100, alpha=None, budget=7) == 7
+
+    def test_rejects_both(self):
+        with pytest.raises(SmoothingBudgetError):
+            resolve_budget(10, alpha=0.1, budget=5)
+
+    def test_rejects_neither(self):
+        with pytest.raises(SmoothingBudgetError):
+            resolve_budget(10, alpha=None, budget=None)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_alpha_out_of_range(self, alpha):
+        with pytest.raises(SmoothingBudgetError):
+            resolve_budget(10, alpha=alpha, budget=None)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(SmoothingBudgetError):
+            resolve_budget(10, alpha=None, budget=0)
+
+
+class TestGreedySmoothing:
+    def test_loss_trace_strictly_decreases(self, toy_keys):
+        result = smooth_keys(toy_keys, alpha=0.5)
+        trace = result.loss_trace
+        assert all(b < a for a, b in zip(trace, trace[1:]))
+
+    def test_respects_budget(self, toy_keys):
+        result = smooth_keys(toy_keys, budget=3)
+        assert result.n_virtual <= 3
+
+    def test_points_are_sorted_union(self, toy_keys):
+        result = smooth_keys(toy_keys, alpha=0.5)
+        expected = sorted(toy_keys.tolist() + result.virtual_points)
+        assert result.points.tolist() == expected
+
+    def test_virtual_points_within_range(self, small_keys):
+        result = smooth_keys(small_keys, budget=20)
+        assert all(small_keys[0] < v < small_keys[-1] for v in result.virtual_points)
+
+    def test_virtual_points_avoid_existing_keys(self, small_keys):
+        result = smooth_keys(small_keys, budget=20)
+        assert not set(result.virtual_points) & set(small_keys.tolist())
+
+    def test_final_loss_matches_refit_on_points(self, toy_keys):
+        result = smooth_keys(toy_keys, alpha=0.5)
+        __, loss = fit_and_loss(result.points)
+        assert result.final_loss == pytest.approx(loss, rel=1e-9)
+
+    def test_final_loss_matches_exact_oracle(self, toy_keys):
+        result = smooth_keys(toy_keys, alpha=0.5)
+        exact = float(exact_refit_loss(result.points.tolist()))
+        assert result.final_loss == pytest.approx(exact, rel=1e-9)
+
+    def test_fig2_reproduction(self, toy_keys):
+        """Original loss ≈ 8.33, smoothed ≈ 2.29 at α = 0.5 (Fig. 2)."""
+        result = smooth_keys(toy_keys, alpha=0.5)
+        assert result.original_loss == pytest.approx(8.36, abs=0.05)
+        assert result.final_loss == pytest.approx(2.2, abs=0.15)
+        assert result.loss_improvement_pct > 70.0
+
+    def test_loss_over_original_keys_lower_than_combined_count(self, toy_keys):
+        result = smooth_keys(toy_keys, alpha=0.5)
+        assert result.loss_over_original_keys() <= result.final_loss + 1e-9
+
+    def test_key_ranks_are_positions_in_points(self, toy_keys):
+        result = smooth_keys(toy_keys, alpha=0.5)
+        for key, rank in zip(result.original_keys, result.key_ranks()):
+            assert result.points[rank] == key
+
+    def test_greedy_step_is_globally_best_single_point(self, toy_keys):
+        """First inserted point must equal the single-point optimum."""
+        result = smooth_keys(toy_keys, budget=1)
+        stats = SegmentStats(toy_keys)
+        free = [
+            v for v in range(int(toy_keys[0]) + 1, int(toy_keys[-1]))
+            if v not in set(toy_keys.tolist())
+        ]
+        best = min(free, key=lambda v: stats.evaluate(v).loss)
+        assert result.final_loss == pytest.approx(stats.evaluate(best).loss, rel=1e-9)
+
+    def test_stops_early_when_no_gain(self):
+        # Perfectly linear keys: no virtual point can help.
+        result = smooth_keys(np.arange(0, 200, 2), alpha=0.2)
+        assert result.stopped_early
+        assert result.final_loss == pytest.approx(result.original_loss)
+
+    def test_dense_keys_no_free_values(self):
+        result = smooth_keys(np.arange(50), alpha=0.5)
+        assert result.n_virtual == 0
+        assert result.stopped_early
+
+    def test_larger_budget_never_worse(self, small_keys):
+        small = smooth_keys(small_keys, budget=5)
+        large = smooth_keys(small_keys, budget=25)
+        assert large.final_loss <= small.final_loss + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=key_sets)
+    def test_smoothing_never_increases_loss_property(self, keys):
+        result = smooth_keys(np.asarray(keys, dtype=np.int64), budget=5)
+        assert result.final_loss <= result.original_loss + 1e-9
+        # Invariant: reported loss is the exact refit loss of `points`.
+        exact = float(exact_refit_loss(result.points.tolist()))
+        assert result.final_loss == pytest.approx(exact, rel=1e-6, abs=1e-6)
+
+    def test_elapsed_recorded(self, toy_keys):
+        assert smooth_keys(toy_keys, budget=2).elapsed_seconds >= 0.0
+
+
+class TestExhaustive:
+    def test_never_worse_than_greedy(self, toy_keys):
+        greedy = smooth_keys(toy_keys, alpha=0.5)
+        exhaustive = smooth_keys_exhaustive(toy_keys, budget=2)
+        # budget-2 exhaustive vs budget-5 greedy is not comparable;
+        # compare equal budgets instead.
+        greedy2 = smooth_keys(toy_keys, budget=2)
+        assert exhaustive.final_loss <= greedy2.final_loss + 1e-9
+
+    def test_single_point_matches_greedy(self, toy_keys):
+        assert smooth_keys_exhaustive(toy_keys, budget=1).final_loss == pytest.approx(
+            smooth_keys(toy_keys, budget=1).final_loss, rel=1e-9
+        )
+
+    def test_rejects_huge_searches(self):
+        keys = np.arange(0, 10_000, 97)
+        with pytest.raises(SmoothingBudgetError):
+            smooth_keys_exhaustive(keys, budget=6)
+
+    def test_table2_shape(self, toy_keys):
+        """Greedy ≈ exhaustive quality at a fraction of the time
+        (Table 2's 3-orders-of-magnitude gap)."""
+        greedy = smooth_keys(toy_keys, budget=3)
+        exhaustive = smooth_keys_exhaustive(toy_keys, budget=3)
+        assert exhaustive.final_loss <= greedy.final_loss + 1e-9
+        # Greedy must stay close to optimal (paper: 72.3% vs 74.4%
+        # improvement); allow a 25% relative slack on the loss.
+        assert greedy.final_loss <= exhaustive.final_loss * 1.25 + 1e-9
+
+
+class TestFixedModelAblation:
+    def test_never_beats_refitting(self, toy_keys):
+        refit = smooth_keys(toy_keys, budget=4)
+        fixed = smooth_keys_fixed_model(toy_keys, budget=4)
+        # Compare on the combined-set refit objective: the fixed-model
+        # variant measures loss against the unrefitted model, which can
+        # only be ≥ the refit optimum for the same point multiset.
+        __, fixed_refit_loss = fit_and_loss(fixed.points)
+        assert refit.final_loss <= fixed_refit_loss + 1e-9
+
+    def test_reduces_its_own_objective(self, toy_keys):
+        fixed = smooth_keys_fixed_model(toy_keys, budget=4)
+        assert fixed.final_loss <= fixed.original_loss + 1e-9
+
+    def test_budget_respected(self, toy_keys):
+        assert smooth_keys_fixed_model(toy_keys, budget=2).n_virtual <= 2

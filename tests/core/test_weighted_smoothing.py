@@ -1,0 +1,107 @@
+"""Tests for the workload-aware smoothing extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidKeysError, SmoothingBudgetError
+from repro.core.weighted_smoothing import (
+    smooth_keys_weighted,
+    weighted_loss,
+)
+
+
+class TestWeightedLoss:
+    def test_uniform_weights_match_unweighted(self, toy_keys):
+        from repro.core.loss import fit_and_loss
+
+        __, unweighted = fit_and_loss(toy_keys)
+        __, weighted = weighted_loss(toy_keys, np.ones(toy_keys.size))
+        assert weighted == pytest.approx(unweighted, rel=1e-9)
+
+    def test_scaling_weights_scales_loss(self, toy_keys):
+        w = np.ones(toy_keys.size)
+        __, base = weighted_loss(toy_keys, w)
+        __, doubled = weighted_loss(toy_keys, 2 * w)
+        assert doubled == pytest.approx(2 * base, rel=1e-9)
+
+    def test_zero_weight_keys_ignored(self, toy_keys):
+        """A key with weight 0 must not influence the fit."""
+        w = np.ones(toy_keys.size)
+        w[-1] = 0.0
+        model, __ = weighted_loss(toy_keys, w)
+        sub_model, __ = weighted_loss(
+            toy_keys[:-1], w[:-1], ranks=np.arange(toy_keys.size - 1)
+        )
+        assert model.slope == pytest.approx(sub_model.slope, rel=1e-9)
+
+    def test_rejects_negative_weights(self, toy_keys):
+        w = np.ones(toy_keys.size)
+        w[0] = -1.0
+        with pytest.raises(InvalidKeysError):
+            weighted_loss(toy_keys, w)
+
+    def test_rejects_all_zero(self, toy_keys):
+        with pytest.raises(InvalidKeysError):
+            weighted_loss(toy_keys, np.zeros(toy_keys.size))
+
+    def test_rejects_wrong_shape(self, toy_keys):
+        with pytest.raises(InvalidKeysError):
+            weighted_loss(toy_keys, np.ones(3))
+
+
+class TestSmoothKeysWeighted:
+    def test_loss_trace_decreases(self, toy_keys):
+        result = smooth_keys_weighted(toy_keys, np.ones(toy_keys.size), alpha=0.5)
+        trace = result.loss_trace
+        assert all(b < a for a, b in zip(trace, trace[1:]))
+
+    def test_budget_respected(self, toy_keys):
+        result = smooth_keys_weighted(toy_keys, np.ones(toy_keys.size), budget=3)
+        assert result.n_virtual <= 3
+
+    def test_final_loss_is_recomputable(self, toy_keys):
+        w = np.ones(toy_keys.size)
+        w[7:] = 10.0
+        result = smooth_keys_weighted(toy_keys, w, alpha=0.5)
+        __, recomputed = weighted_loss(toy_keys, w, ranks=result.key_ranks)
+        assert result.final_loss == pytest.approx(recomputed, rel=1e-6)
+
+    def test_points_contain_originals(self, small_keys):
+        result = smooth_keys_weighted(small_keys, np.ones(small_keys.size), budget=10)
+        assert set(small_keys.tolist()) <= set(result.points.tolist())
+
+    def test_virtual_points_between_keys(self, small_keys):
+        result = smooth_keys_weighted(small_keys, np.ones(small_keys.size), budget=10)
+        assert all(small_keys[0] < v < small_keys[-1] for v in result.virtual_points)
+
+    def test_hot_region_attracts_points(self, rng):
+        """Heavily weighted keys pull the budget toward their region."""
+        # Dense left cluster, sparse right tail.
+        keys = np.unique(
+            np.concatenate([rng.integers(0, 1000, 150), rng.integers(10**6, 2 * 10**6, 30)])
+        )
+        split_value = 10**5
+        hot_left = np.where(keys < split_value, 100.0, 1.0)
+        hot_right = np.where(keys < split_value, 1.0, 100.0)
+        left_result = smooth_keys_weighted(keys, hot_left, budget=20)
+        right_result = smooth_keys_weighted(keys, hot_right, budget=20)
+        left_fraction_left = np.mean([v < split_value for v in left_result.virtual_points])
+        left_fraction_right = np.mean([v < split_value for v in right_result.virtual_points])
+        # Weighting a region more should never move points AWAY from it.
+        assert left_fraction_left >= left_fraction_right
+
+    def test_dense_keys_stop_early(self):
+        keys = np.arange(30)
+        result = smooth_keys_weighted(keys, np.ones(30), budget=5)
+        assert result.stopped_early
+        assert result.n_virtual == 0
+
+    def test_rejects_bad_budget(self, toy_keys):
+        with pytest.raises(SmoothingBudgetError):
+            smooth_keys_weighted(toy_keys, np.ones(toy_keys.size))
+
+    def test_key_ranks_strictly_increasing(self, small_keys):
+        result = smooth_keys_weighted(small_keys, np.ones(small_keys.size), budget=15)
+        assert np.all(np.diff(result.key_ranks) >= 1)

@@ -1,0 +1,89 @@
+"""Tests for the distribution building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidKeysError
+from repro.datasets.distributions import (
+    block_process,
+    cluster_mixture,
+    dedupe_to_size,
+    gap_process,
+)
+
+
+class TestDedupeToSize:
+    def test_exact_size(self, rng):
+        raw = rng.integers(0, 10**7, 5000)
+        out = dedupe_to_size(raw, 1000)
+        assert out.size == 1000
+
+    def test_sorted_unique(self, rng):
+        out = dedupe_to_size(rng.integers(0, 10**7, 5000), 800)
+        assert np.all(np.diff(out) > 0)
+
+    def test_raises_when_insufficient(self, rng):
+        with pytest.raises(InvalidKeysError):
+            dedupe_to_size(np.array([1, 2, 3]), 10)
+
+    def test_exact_fit_passthrough(self):
+        raw = np.array([5, 1, 3])
+        assert dedupe_to_size(raw, 3).tolist() == [1, 3, 5]
+
+
+class TestGapProcess:
+    def test_size_and_order(self, rng):
+        keys = gap_process(rng, 2000, mean_gap=50.0)
+        assert keys.size == 2000
+        assert np.all(np.diff(keys) > 0)
+
+    def test_pure_geometric_is_locally_linear(self, rng):
+        from repro.datasets.cdf import local_linearity_profile
+
+        keys = gap_process(rng, 5000, mean_gap=100.0, heavy_tail=0.0)
+        profile = local_linearity_profile(keys, window=500)
+        assert profile.mean() > 0.99
+
+    def test_heavy_tail_adds_local_variability(self, rng):
+        from repro.datasets.cdf import local_linearity_profile
+
+        smooth = gap_process(np.random.default_rng(1), 5000, 100.0, heavy_tail=0.0)
+        rough = gap_process(np.random.default_rng(1), 5000, 100.0, heavy_tail=0.1)
+        assert (
+            local_linearity_profile(rough, window=500).mean()
+            < local_linearity_profile(smooth, window=500).mean()
+        )
+
+
+class TestClusterMixture:
+    def test_size_and_order(self, rng):
+        keys = cluster_mixture(rng, 3000, n_clusters=10)
+        assert keys.size == 3000
+        assert np.all(np.diff(keys) > 0)
+
+    def test_rejects_zero_clusters(self, rng):
+        with pytest.raises(InvalidKeysError):
+            cluster_mixture(rng, 100, n_clusters=0)
+
+    def test_clustering_reduces_global_linearity(self, rng):
+        from repro.datasets.cdf import linearity_r2
+
+        uniform = gap_process(np.random.default_rng(2), 3000, 1000.0)
+        clustered = cluster_mixture(np.random.default_rng(2), 3000, n_clusters=8)
+        assert linearity_r2(clustered) < linearity_r2(uniform)
+
+
+class TestBlockProcess:
+    def test_size_and_order(self, rng):
+        keys = block_process(rng, 3000, block_size_mean=100, intra_gap_mean=3.0, inter_gap_mean=10**6)
+        assert keys.size == 3000
+        assert np.all(np.diff(keys) > 0)
+
+    def test_blocks_create_bimodal_gaps(self, rng):
+        keys = block_process(rng, 5000, block_size_mean=200, intra_gap_mean=3.0, inter_gap_mean=10**6)
+        gaps = np.diff(keys)
+        small = np.sum(gaps < 100)
+        large = np.sum(gaps > 10**4)
+        assert small > large > 0

@@ -1,0 +1,166 @@
+"""Tests for dataset generators, loader, and CDF utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidKeysError
+from repro.datasets import (
+    DATASETS,
+    EASY_DATASETS,
+    FIG2_TOY_KEYS,
+    HARD_DATASETS,
+    cardinality_series,
+    clear_cache,
+    downsample,
+    empirical_cdf,
+    generate,
+    linearity_r2,
+    load,
+    local_linearity_profile,
+    pla_segment_count,
+    summarize,
+    zoomed_window,
+)
+
+N = 4000
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_size_sorted_unique(self, name):
+        keys = generate(name, N)
+        assert keys.size == N
+        assert np.all(np.diff(keys) > 0)
+        assert keys.dtype == np.int64
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_deterministic(self, name):
+        assert np.array_equal(generate(name, N, seed=7), generate(name, N, seed=7))
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_seed_changes_data(self, name):
+        assert not np.array_equal(generate(name, N, seed=1), generate(name, N, seed=2))
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidKeysError):
+            generate("nope", N)
+
+    def test_minimum_size_guard(self):
+        with pytest.raises(InvalidKeysError):
+            generate("covid", 5)
+
+    def test_shape_classes_match_paper(self):
+        """Fig. 5: Covid most linear; OSM globally non-linear; Genome
+        locally hardest among the globally-linear sets."""
+        summaries = {name: summarize(name, generate(name, N)) for name in DATASETS}
+        assert summaries["covid"].local_r2_mean > 0.99
+        assert summaries["osm"].global_r2 == min(
+            s.global_r2 for s in summaries.values()
+        )
+        for easy in EASY_DATASETS:
+            for hard in HARD_DATASETS:
+                assert (
+                    summaries[easy].local_r2_mean > summaries[hard].local_r2_mean
+                ), (easy, hard)
+
+    def test_toy_keys_are_fig2(self):
+        assert FIG2_TOY_KEYS.size == 10
+        assert FIG2_TOY_KEYS.min() >= 0 and FIG2_TOY_KEYS.max() <= 30
+
+
+class TestLoader:
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        a = load("covid", 1000)
+        b = load("covid", 1000)
+        assert a is b
+
+    def test_cached_array_readonly(self):
+        keys = load("covid", 1000)
+        with pytest.raises(ValueError):
+            keys[0] = 1
+
+    def test_different_n_different_entries(self):
+        assert load("covid", 1000).size != load("covid", 2000).size
+
+    def test_downsample_size_and_order(self):
+        keys = load("facebook", 4000)
+        out = downsample(keys, 1000)
+        assert out.size <= 1000 * 1.01 and out.size >= 990
+        assert np.all(np.diff(out) > 0)
+
+    def test_downsample_subset(self):
+        keys = load("facebook", 2000)
+        out = downsample(keys, 500)
+        assert set(out.tolist()) <= set(keys.tolist())
+
+    def test_downsample_noop_when_small(self):
+        keys = np.arange(10)
+        assert downsample(keys, 100).size == 10
+
+    def test_downsample_rejects_bad_target(self):
+        with pytest.raises(InvalidKeysError):
+            downsample(np.arange(10), 0)
+
+    def test_cardinality_series_ladder(self):
+        series = cardinality_series("covid", full_size=3200)
+        sizes = sorted(series)
+        assert len(sizes) == 5
+        assert sizes[-1] == 3200
+        for size, keys in series.items():
+            assert abs(keys.size - size) <= size * 0.02
+
+    def test_env_scale(self, monkeypatch):
+        from repro.datasets.loader import default_scale
+
+        monkeypatch.setenv("REPRO_SCALE", "5000")
+        assert default_scale() == 5000
+        monkeypatch.setenv("REPRO_SCALE", "abc")
+        with pytest.raises(InvalidKeysError):
+            default_scale()
+        monkeypatch.setenv("REPRO_SCALE", "5")
+        with pytest.raises(InvalidKeysError):
+            default_scale()
+
+
+class TestCdfUtilities:
+    def test_empirical_cdf_range(self):
+        keys = load("covid", 2000)
+        xs, ys = empirical_cdf(keys, points=100)
+        assert xs.size == ys.size == 100
+        assert ys[0] == 0.0 and ys[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(xs) >= 0)
+
+    def test_empirical_cdf_rejects_empty(self):
+        with pytest.raises(InvalidKeysError):
+            empirical_cdf(np.empty(0, dtype=np.int64))
+
+    def test_zoomed_window(self):
+        keys = load("covid", 4000)
+        window = zoomed_window(keys, start_fraction=0.5, width=1000)
+        assert window.size == 1000
+        assert window[0] == keys[2000]
+
+    def test_zoomed_window_clamps(self):
+        keys = np.arange(100)
+        window = zoomed_window(keys, start_fraction=0.99, width=1000)
+        assert window.size <= 100
+
+    def test_linearity_r2_perfect_line(self):
+        assert linearity_r2(np.arange(0, 1000, 7)) == pytest.approx(1.0)
+
+    def test_linearity_r2_bounds(self):
+        keys = load("osm", 2000)
+        assert 0.0 <= linearity_r2(keys) <= 1.0
+
+    def test_local_profile_shape(self):
+        keys = load("genome", 4000)
+        profile = local_linearity_profile(keys, window=500, samples=16)
+        assert profile.size == 16
+
+    def test_pla_segment_count_hardness_order(self):
+        easy = pla_segment_count(load("covid", N))
+        hard = pla_segment_count(load("genome", N))
+        assert easy < hard

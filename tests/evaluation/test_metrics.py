@@ -1,0 +1,80 @@
+"""Tests for the Section 6.1 evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    PROMOTABLE_LEVEL,
+    LevelSnapshot,
+    improvement_pct,
+    node_reduction_pct,
+    promoted_keys,
+    promoted_percentage,
+    relative_increase_pct,
+    total_time_saved_ns,
+)
+from repro.indexes import LippIndex
+
+
+class TestLevelSnapshot:
+    def test_capture(self, small_keys):
+        index = LippIndex.build(small_keys)
+        snap = LevelSnapshot.capture(index, small_keys)
+        assert len(snap) == small_keys.size
+        assert all(level >= 1 for level in snap.levels.values())
+
+    def test_promotable_threshold(self):
+        snap = LevelSnapshot({1: 1, 2: 2, 3: 3, 4: 4})
+        assert snap.promotable() == {3, 4}
+        assert snap.promotable(threshold=2) == {2, 3, 4}
+
+
+class TestPromotedKeys:
+    def test_detects_promotions(self):
+        before = LevelSnapshot({1: 3, 2: 4, 3: 2})
+        after = LevelSnapshot({1: 2, 2: 4, 3: 2})
+        assert promoted_keys(before, after) == {1}
+
+    def test_ignores_demotions_and_missing(self):
+        before = LevelSnapshot({1: 2, 2: 2})
+        after = LevelSnapshot({1: 3})  # demoted; key 2 vanished
+        assert promoted_keys(before, after) == set()
+
+    def test_percentage(self):
+        before = LevelSnapshot({1: 3, 2: 3, 3: 4, 4: 2})
+        after = LevelSnapshot({1: 2, 2: 3, 3: 4, 4: 2})
+        # promotable = {1, 2, 3, 4} at levels >= 3 → {1?, ...}: levels
+        # are the VALUES; promotable keys are 1, 2 (level 3), 3 (4)...
+        assert promoted_percentage(before, after) == pytest.approx(100.0 / 3)
+
+    def test_percentage_empty_promotable(self):
+        before = LevelSnapshot({1: 1, 2: 2})
+        after = LevelSnapshot({1: 1, 2: 1})
+        assert promoted_percentage(before, after) == 0.0
+
+
+class TestScalarMetrics:
+    def test_relative_increase(self):
+        assert relative_increase_pct(100, 110) == pytest.approx(10.0)
+        assert relative_increase_pct(100, 90) == pytest.approx(-10.0)
+        assert relative_increase_pct(0, 50) == 0.0
+
+    def test_improvement(self):
+        assert improvement_pct(200.0, 150.0) == pytest.approx(25.0)
+        assert improvement_pct(0.0, 10.0) == 0.0
+
+    def test_total_time_saved(self):
+        assert total_time_saved_ns(1000.0, 600.0) == pytest.approx(400.0)
+
+    def test_node_reduction(self):
+        before = [1, 2, 2, 3, 3, 3, 4]  # 4 nodes at level >= 3
+        after = [1, 2, 2, 3]
+        assert node_reduction_pct(before, after) == pytest.approx(75.0)
+
+    def test_node_reduction_no_deep_nodes(self):
+        assert node_reduction_pct([1, 2], [1]) == 0.0
+
+    def test_promotable_level_constant(self):
+        assert PROMOTABLE_LEVEL == 3

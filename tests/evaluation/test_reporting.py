@@ -1,0 +1,56 @@
+"""Tests for the ASCII reporting helpers."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.evaluation.reporting import ascii_table, format_float, results_dir, write_result
+
+
+class TestAsciiTable:
+    def test_contains_headers_and_cells(self):
+        table = ascii_table(["name", "value"], [["covid", 1.5], ["osm", 2.0]])
+        assert "name" in table and "covid" in table and "1.50" in table
+
+    def test_column_alignment(self):
+        table = ascii_table(["a"], [["xxxxxxxxxx"]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # uniform width
+
+    def test_empty_rows(self):
+        table = ascii_table(["a", "b"], [])
+        assert "a" in table
+
+
+class TestFormatFloat:
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_small(self):
+        assert format_float(1.2345) == "1.23"
+
+    def test_large_uses_compact(self):
+        assert "e" in format_float(1.5e8) or len(format_float(1.5e8)) <= 9
+
+    def test_digits(self):
+        assert format_float(1.23456, digits=4) == "1.2346"
+
+
+class TestWriteResult:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_result("unit_test", "hello")
+        assert path.read_text() == "hello\n"
+        assert path.parent == tmp_path
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "sub"))
+        out = results_dir()
+        assert out == tmp_path / "sub"
+        assert out.exists()
+
+    def test_default_results_dir_inside_repo(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        out = results_dir()
+        assert out.name == "results"
+        assert (out.parent / "pyproject.toml").exists()

@@ -1,0 +1,106 @@
+"""Tests for the experiment drivers (small-n smoke versions of the
+paper's experiments)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidKeysError
+from repro.evaluation.runner import (
+    run_alpha_sweep,
+    run_cardinality_sweep,
+    run_csv_experiment,
+    run_level_query_times,
+    run_readwrite_experiment,
+)
+
+N = 4000
+
+
+class TestRunCsvExperiment:
+    def test_row_fields_sane(self):
+        row = run_csv_experiment("lipp", "facebook", n=N, alpha=0.1)
+        assert row.index_family == "lipp"
+        assert row.n == N
+        assert 0.0 <= row.promoted_pct <= 100.0
+        assert row.promoted_keys <= row.promotable_keys or row.promotable_keys == 0
+        assert row.preprocessing_seconds > 0
+        assert row.height_after <= row.height_before
+
+    def test_improvement_on_easy_data(self):
+        """Facebook-like data must show real promotion + improvement."""
+        row = run_csv_experiment("lipp", "facebook", n=N, alpha=0.2)
+        assert row.promoted_pct > 5.0
+        assert row.query_improvement_pct > 0.0
+        assert row.total_time_saved_ns > 0.0
+
+    def test_unknown_family(self):
+        with pytest.raises(InvalidKeysError):
+            run_csv_experiment("btree++", "covid", n=N)
+
+    def test_explicit_keys_bypass_loader(self, rng):
+        keys = np.unique(rng.integers(0, 10**7, 2000))
+        row = run_csv_experiment("lipp", "custom", keys=keys, alpha=0.1)
+        assert row.dataset == "custom"
+        assert row.n == keys.size
+
+    def test_alex_experiment_runs(self):
+        row = run_csv_experiment("alex", "genome", n=N, alpha=0.1)
+        assert row.nodes_rebuilt >= 0
+        assert row.height_after <= row.height_before
+
+
+class TestSweeps:
+    def test_alpha_sweep_rows(self):
+        rows = run_alpha_sweep("lipp", "covid", alphas=(0.05, 0.2), n=N)
+        assert [r.alpha for r in rows] == [0.05, 0.2]
+
+    def test_alpha_sweep_virtual_points_grow(self):
+        rows = run_alpha_sweep("lipp", "genome", alphas=(0.05, 0.4), n=N)
+        assert rows[1].virtual_points >= rows[0].virtual_points
+
+    def test_cardinality_sweep_sizes(self):
+        rows = run_cardinality_sweep(
+            "lipp", "covid", fractions=(0.25, 1.0), full_n=N
+        )
+        assert rows[0].n < rows[1].n
+
+
+class TestLevelQueryTimes:
+    def test_levels_sorted_and_costed(self):
+        rows = run_level_query_times("lipp", "genome", n=N)
+        levels = [r.level for r in rows]
+        assert levels == sorted(levels)
+        assert all(r.avg_simulated_ns > 0 for r in rows)
+
+    def test_deeper_levels_cost_more(self):
+        """Fig. 1's monotone trend."""
+        rows = run_level_query_times("lipp", "osm", n=N)
+        costs = [r.avg_simulated_ns for r in rows]
+        assert costs == sorted(costs)
+
+    def test_key_counts_positive(self):
+        rows = run_level_query_times("lipp", "covid", n=N)
+        assert all(r.n_keys_at_level > 0 for r in rows)
+
+
+class TestReadWrite:
+    def test_observation_count(self):
+        observations = run_readwrite_experiment(
+            "lipp", "covid", n=N, alpha=0.1, n_batches=2
+        )
+        assert len(observations) == 3
+
+    def test_inserted_counts_monotone(self):
+        observations = run_readwrite_experiment(
+            "lipp", "facebook", n=N, alpha=0.1, n_batches=2
+        )
+        inserted = [o.inserted_so_far for o in observations]
+        assert inserted == sorted(inserted)
+
+    def test_initial_time_saved_positive_on_easy_data(self):
+        observations = run_readwrite_experiment(
+            "lipp", "facebook", n=N, alpha=0.2, n_batches=1
+        )
+        assert observations[0].total_time_saved_ns >= 0.0

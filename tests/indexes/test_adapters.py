@@ -1,0 +1,168 @@
+"""Tests for the CSV↔index adapters and full Algorithm 2 integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.csv_algorithm import CsvConfig, apply_csv
+from repro.core.exceptions import IndexStateError
+from repro.core.smoothing import smooth_keys
+from repro.indexes import (
+    AlexCsvAdapter,
+    AlexIndex,
+    BPlusTree,
+    LippCsvAdapter,
+    LippIndex,
+    SaliCsvAdapter,
+    SaliIndex,
+    adapter_for,
+)
+
+
+class TestAdapterFor:
+    def test_dispatch(self, small_keys):
+        assert isinstance(adapter_for(LippIndex.build(small_keys)), LippCsvAdapter)
+        assert isinstance(adapter_for(SaliIndex.build(small_keys)), SaliCsvAdapter)
+        assert isinstance(adapter_for(AlexIndex.build(small_keys)), AlexCsvAdapter)
+
+    def test_sali_before_lipp(self, small_keys):
+        """SALI subclasses LIPP — dispatch must pick the subclass."""
+        adapter = adapter_for(SaliIndex.build(small_keys))
+        assert type(adapter) is SaliCsvAdapter
+
+    def test_unknown_raises(self, small_keys):
+        with pytest.raises(IndexStateError):
+            adapter_for(BPlusTree.build(small_keys))
+
+
+class TestLippAdapter:
+    def test_handles_exclude_root(self, clustered_keys):
+        adapter = LippCsvAdapter(LippIndex.build(clustered_keys))
+        for level in range(2, adapter.max_level() + 1):
+            for handle in adapter.subtree_handles(level):
+                assert handle.parent is not None
+                assert handle.level == level
+                assert handle.has_subtree
+
+    def test_collect_keys_sorted(self, clustered_keys):
+        adapter = LippCsvAdapter(LippIndex.build(clustered_keys))
+        level = adapter.max_level()
+        handles = adapter.subtree_handles(level)
+        if not handles:
+            pytest.skip("no subtree at max level")
+        keys = adapter.collect_keys(handles[0])
+        assert np.all(np.diff(keys) > 0)
+
+    def test_cost_delta_is_loss_change(self, clustered_keys):
+        adapter = LippCsvAdapter(LippIndex.build(clustered_keys))
+        handles = adapter.subtree_handles(2)
+        if not handles:
+            pytest.skip("no level-2 subtree")
+        keys = adapter.collect_keys(handles[0])
+        if keys.size < 3:
+            pytest.skip("subtree too small")
+        smoothing = smooth_keys(keys, alpha=0.2)
+        delta = adapter.cost_delta(handles[0], smoothing)
+        assert delta == pytest.approx(smoothing.final_loss - smoothing.original_loss)
+
+    def test_rebuild_preserves_lookups(self, clustered_keys):
+        index = LippIndex.build(clustered_keys)
+        adapter = LippCsvAdapter(index)
+        handles = adapter.subtree_handles(2)
+        if not handles:
+            pytest.skip("no level-2 subtree")
+        handle = handles[0]
+        keys = adapter.collect_keys(handle)
+        if keys.size < 3:
+            pytest.skip("subtree too small")
+        smoothing = smooth_keys(keys, alpha=0.3)
+        promoted = adapter.rebuild(handle, smoothing)
+        assert promoted >= 0
+        for key in keys.tolist():
+            assert index.lookup(key) == key
+
+    def test_rebuild_marks_virtual_slots(self, clustered_keys):
+        index = LippIndex.build(clustered_keys)
+        adapter = LippCsvAdapter(index)
+        handles = [
+            h for h in adapter.subtree_handles(2) if adapter.collect_keys(h).size >= 10
+        ]
+        if not handles:
+            pytest.skip("no sizable subtree")
+        handle = handles[0]
+        keys = adapter.collect_keys(handle)
+        smoothing = smooth_keys(keys, alpha=0.3)
+        adapter.rebuild(handle, smoothing)
+        parent = handle.parent
+        new_child = parent.children[handle.parent_slot]
+        assert new_child.virtual_slots == smoothing.n_virtual
+        assert new_child.m == smoothing.points.size
+
+
+class TestAlexAdapter:
+    def test_handles_are_inner_non_root(self, clustered_keys):
+        adapter = AlexCsvAdapter(AlexIndex.build(clustered_keys))
+        for level in range(2, adapter.max_level() + 1):
+            for handle in adapter.subtree_handles(level):
+                assert handle.parent is not None
+
+    def test_cost_delta_negative_for_good_merge(self, clustered_keys):
+        """Deep, well-smoothable subtrees should price below zero."""
+        adapter = AlexCsvAdapter(AlexIndex.build(clustered_keys))
+        found_negative = False
+        for level in range(adapter.max_level(), 1, -1):
+            for handle in adapter.subtree_handles(level):
+                keys = adapter.collect_keys(handle)
+                if keys.size < 10:
+                    continue
+                smoothing = smooth_keys(keys, alpha=0.2)
+                if adapter.cost_delta(handle, smoothing) < 0:
+                    found_negative = True
+                    break
+            if found_negative:
+                break
+        assert found_negative
+
+    def test_rebuild_preserves_lookups(self, clustered_keys):
+        index = AlexIndex.build(clustered_keys)
+        adapter = AlexCsvAdapter(index)
+        level = adapter.max_level()
+        handles = [
+            h for h in adapter.subtree_handles(level) if adapter.collect_keys(h).size >= 5
+        ]
+        if not handles:
+            pytest.skip("no sizable subtree")
+        handle = handles[0]
+        keys = adapter.collect_keys(handle)
+        smoothing = smooth_keys(keys, alpha=0.2)
+        promoted = adapter.rebuild(handle, smoothing)
+        assert promoted >= 0
+        for key in keys.tolist():
+            assert index.lookup(key) == key
+
+
+@pytest.mark.parametrize("cls", [LippIndex, SaliIndex, AlexIndex])
+class TestFullCsvIntegration:
+    def test_apply_csv_preserves_all_lookups(self, cls, clustered_keys):
+        index = cls.build(clustered_keys)
+        apply_csv(adapter_for(index), CsvConfig(alpha=0.1))
+        for key in clustered_keys.tolist():
+            assert index.lookup(int(key)) == int(key), key
+
+    def test_apply_csv_never_raises_on_easy_data(self, cls, rng):
+        keys = np.unique(rng.integers(0, 10**6, 3000))
+        index = cls.build(keys)
+        report = apply_csv(adapter_for(index), CsvConfig(alpha=0.2))
+        assert report.preprocessing_seconds >= 0.0
+        for key in keys[::11].tolist():
+            assert index.lookup(key) == key
+
+    def test_inserts_after_csv(self, cls, clustered_keys, rng):
+        index = cls.build(clustered_keys)
+        apply_csv(adapter_for(index), CsvConfig(alpha=0.1))
+        new = np.setdiff1d(np.unique(rng.integers(0, 2**40, 500)), clustered_keys)
+        for key in new.tolist():
+            index.insert(int(key), int(key))
+        for key in new[::7].tolist():
+            assert index.lookup(int(key)) == int(key)

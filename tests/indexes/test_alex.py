@@ -1,0 +1,195 @@
+"""Tests for the ALEX substrate (data nodes + index)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import IndexStateError
+from repro.core.linear_model import LinearModel, fit_linear
+from repro.indexes.alex import AlexDataNode, AlexIndex, InsertStatus
+from repro.indexes.alex.data_node import TAIL_FILL
+
+key_sets = st.lists(
+    st.integers(min_value=0, max_value=10**9), min_size=2, max_size=200, unique=True
+).map(sorted)
+
+
+class TestDataNode:
+    def test_from_sorted_all_keys_found(self, small_keys):
+        node = AlexDataNode.from_sorted(small_keys, small_keys, level=1)
+        for key in small_keys.tolist():
+            found, value, steps = node.lookup(key)
+            assert found and value == key and steps >= 1
+
+    def test_slot_keys_non_decreasing(self, small_keys):
+        node = AlexDataNode.from_sorted(small_keys, small_keys, level=1)
+        assert np.all(np.diff(node.slot_keys) >= 0)
+
+    def test_density_near_target(self, small_keys):
+        node = AlexDataNode.from_sorted(small_keys, small_keys, level=1)
+        assert 0.5 < node.density <= 0.8
+
+    def test_miss_between_keys(self, small_keys):
+        node = AlexDataNode.from_sorted(small_keys, small_keys, level=1)
+        probe = int(small_keys[0]) + 1
+        if probe not in set(small_keys.tolist()):
+            found, value, __ = node.lookup(probe)
+            assert not found and value is None
+
+    def test_insert_into_gap(self, small_keys):
+        node = AlexDataNode.from_sorted(small_keys, small_keys, level=1)
+        probe = int(small_keys[0]) + 1
+        if probe in set(small_keys.tolist()):
+            pytest.skip("no free value at probe")
+        assert node.insert(probe, 42) is InsertStatus.INSERTED
+        found, value, __ = node.lookup(probe)
+        assert found and value == 42
+        assert np.all(np.diff(node.slot_keys) >= 0)
+
+    def test_insert_update(self, small_keys):
+        node = AlexDataNode.from_sorted(small_keys, small_keys, level=1)
+        key = int(small_keys[3])
+        assert node.insert(key, 99) is InsertStatus.UPDATED
+        assert node.lookup(key)[1] == 99
+        assert node.n_keys == small_keys.size
+
+    def test_full_signal(self):
+        keys = np.arange(100, dtype=np.int64)
+        node = AlexDataNode.from_sorted(keys, keys, level=1)
+        status = InsertStatus.INSERTED
+        probe = 1000
+        while status is InsertStatus.INSERTED:
+            probe += 1
+            status = node.insert(probe, probe)
+        assert status is InsertStatus.FULL
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=key_sets)
+    def test_layout_roundtrip_property(self, keys):
+        arr = np.asarray(keys, dtype=np.int64)
+        node = AlexDataNode.from_sorted(arr, arr, level=1)
+        assert node.n_keys == arr.size
+        for key in arr[:: max(1, arr.size // 20)].tolist():
+            assert node.lookup(key)[0]
+
+    def test_from_positions_explicit_layout(self):
+        keys = np.array([10, 20, 40], dtype=np.int64)
+        model = fit_linear(keys, np.array([0, 2, 4]))
+        node = AlexDataNode.from_positions(
+            keys, keys, positions=np.array([0, 2, 4]), capacity=6, model=model, level=2
+        )
+        for key in keys.tolist():
+            assert node.lookup(key)[0]
+        assert node.capacity == 6
+
+    def test_from_positions_rejects_overflow(self):
+        keys = np.array([1, 2], dtype=np.int64)
+        with pytest.raises(ValueError):
+            AlexDataNode.from_positions(
+                keys, keys, positions=np.array([0, 5]), capacity=3,
+                model=LinearModel(1.0, 0.0), level=1,
+            )
+
+    def test_from_positions_rejects_non_monotone(self):
+        keys = np.array([1, 2], dtype=np.int64)
+        with pytest.raises(ValueError):
+            AlexDataNode.from_positions(
+                keys, keys, positions=np.array([3, 3]), capacity=5,
+                model=LinearModel(1.0, 0.0), level=1,
+            )
+
+    def test_expected_search_steps_reflect_fit(self):
+        linear = np.arange(0, 1000, 10, dtype=np.int64)
+        good = AlexDataNode.from_sorted(linear, linear, level=1)
+        rng = np.random.default_rng(0)
+        skewed = np.unique((rng.lognormal(10, 2.5, 200)).astype(np.int64))
+        bad = AlexDataNode.from_sorted(skewed, skewed, level=1)
+        assert good.expected_search_steps() <= bad.expected_search_steps()
+
+    def test_tail_gaps_hold_sentinel(self):
+        keys = np.array([5, 6], dtype=np.int64)
+        node = AlexDataNode.from_sorted(keys, keys, level=1)
+        if not node.occupied[-1]:
+            assert int(node.slot_keys[-1]) == TAIL_FILL
+
+
+class TestAlexIndex:
+    def test_build_and_lookup(self, clustered_keys):
+        index = AlexIndex.build(clustered_keys)
+        for key in clustered_keys[::7].tolist():
+            stats = index.lookup_stats(key)
+            assert stats.found and stats.value == key
+            assert stats.levels >= 1 and stats.search_steps >= 1
+
+    def test_miss(self, clustered_keys):
+        index = AlexIndex.build(clustered_keys)
+        missing = int(clustered_keys[0]) - 7
+        assert not index.lookup_stats(missing).found
+
+    def test_n_keys(self, clustered_keys):
+        assert AlexIndex.build(clustered_keys).n_keys == clustered_keys.size
+
+    def test_small_build_is_single_data_node(self):
+        index = AlexIndex.build(np.arange(50))
+        assert index.height() == 1
+        assert index.node_count() == 1
+
+    def test_insert_random(self, clustered_keys, rng):
+        index = AlexIndex.build(clustered_keys)
+        new = np.setdiff1d(np.unique(rng.integers(0, 2**40, 2000)), clustered_keys)
+        for key in new.tolist():
+            index.insert(key, key)
+        assert index.n_keys == clustered_keys.size + new.size
+        for key in new[::13].tolist():
+            assert index.lookup(key) == key
+
+    def test_insert_sequential_bounded_height(self, small_keys):
+        index = AlexIndex.build(small_keys)
+        base = int(small_keys[-1]) + 10
+        for key in range(base, base + 3000):
+            index.insert(key, 1)
+        assert index.height() <= 12
+        assert index.lookup(base + 1500) == 1
+
+    def test_insert_update_existing(self, small_keys):
+        index = AlexIndex.build(small_keys)
+        key = int(small_keys[5])
+        index.insert(key, 77)
+        assert index.lookup(key) == 77
+        assert index.n_keys == small_keys.size
+
+    def test_iter_keys_sorted(self, clustered_keys):
+        index = AlexIndex.build(clustered_keys)
+        assert np.array_equal(
+            np.fromiter(index.iter_keys(), dtype=np.int64), clustered_keys
+        )
+
+    def test_key_level_matches_descend(self, clustered_keys):
+        index = AlexIndex.build(clustered_keys)
+        key = int(clustered_keys[10])
+        assert index.key_level(key) == index.lookup_stats(key).levels
+
+    def test_key_level_raises_for_missing(self, clustered_keys):
+        index = AlexIndex.build(clustered_keys)
+        with pytest.raises(IndexStateError):
+            index.key_level(int(clustered_keys[0]) - 5)
+
+    def test_level_histogram_sums_to_n(self, clustered_keys):
+        index = AlexIndex.build(clustered_keys)
+        assert sum(index.level_histogram().values()) == clustered_keys.size
+
+    def test_node_levels_contains_root(self, clustered_keys):
+        assert 1 in AlexIndex.build(clustered_keys).node_levels()
+
+    def test_keys_at_or_below(self, clustered_keys):
+        index = AlexIndex.build(clustered_keys)
+        deep = index.keys_at_or_below(2)
+        histogram = index.level_histogram()
+        expected = sum(v for level, v in histogram.items() if level >= 2)
+        assert deep.size == expected
+
+    def test_size_bytes_positive(self, small_keys):
+        assert AlexIndex.build(small_keys).size_bytes() > 0

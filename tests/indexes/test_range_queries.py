@@ -1,0 +1,61 @@
+"""Range-query tests for LIPP, ALEX, SALI and the B+-tree oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.indexes import AlexIndex, BPlusTree, LippIndex, SaliIndex
+
+
+def oracle(keys: np.ndarray, low: int, high: int) -> list[tuple[int, int]]:
+    return [(int(k), int(k)) for k in keys if low <= k <= high]
+
+
+@pytest.mark.parametrize("cls", [LippIndex, AlexIndex, SaliIndex, BPlusTree])
+class TestRangeQueries:
+    def test_interior_range(self, cls, clustered_keys):
+        index = cls.build(clustered_keys)
+        low, high = int(clustered_keys[100]), int(clustered_keys[400])
+        assert index.range_query(low, high) == oracle(clustered_keys, low, high)
+
+    def test_full_range(self, cls, small_keys):
+        index = cls.build(small_keys)
+        out = index.range_query(int(small_keys[0]), int(small_keys[-1]))
+        assert out == oracle(small_keys, int(small_keys[0]), int(small_keys[-1]))
+
+    def test_empty_range(self, cls, small_keys):
+        index = cls.build(small_keys)
+        assert index.range_query(int(small_keys[-1]) + 1, int(small_keys[-1]) + 100) == []
+
+    def test_single_key_range(self, cls, small_keys):
+        index = cls.build(small_keys)
+        key = int(small_keys[7])
+        assert index.range_query(key, key) == [(key, key)]
+
+    def test_bounds_between_keys(self, cls, small_keys):
+        index = cls.build(small_keys)
+        low = int(small_keys[3]) + 1
+        high = int(small_keys[10]) - 1
+        assert index.range_query(low, high) == oracle(small_keys, low, high)
+
+    def test_range_after_inserts(self, cls, small_keys, rng):
+        index = cls.build(small_keys)
+        new = np.setdiff1d(np.unique(rng.integers(0, 10**8, 200)), small_keys)
+        for key in new.tolist():
+            index.insert(int(key), int(key))
+        combined = np.sort(np.concatenate([small_keys, new]))
+        low, high = int(combined[20]), int(combined[-20])
+        assert index.range_query(low, high) == oracle(combined, low, high)
+
+
+class TestRangeAfterCsv:
+    @pytest.mark.parametrize("cls", [LippIndex, AlexIndex, SaliIndex])
+    def test_range_preserved_by_csv(self, cls, clustered_keys):
+        from repro.core import CsvConfig, apply_csv
+        from repro.indexes import adapter_for
+
+        index = cls.build(clustered_keys)
+        apply_csv(adapter_for(index), CsvConfig(alpha=0.1))
+        low, high = int(clustered_keys[50]), int(clustered_keys[700])
+        assert index.range_query(low, high) == oracle(clustered_keys, low, high)

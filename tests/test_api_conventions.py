@@ -1,0 +1,69 @@
+"""Library-wide convention checks: documentation and API stability.
+
+These guard the "production-quality" bar: every public item is
+documented, the package exports stay importable, and module-level
+``__all__`` lists match reality.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    name
+    for __, name, __is_pkg in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not any(part.startswith("_") for part in name.split(".")[1:])
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_entries_exist(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if obj.__module__ != module_name:
+                continue  # re-export; documented at its home module
+            assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+            if inspect.isclass(obj):
+                for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                    if meth_name.startswith("_"):
+                        continue
+                    if meth.__qualname__.split(".")[0] != obj.__name__:
+                        continue  # inherited
+                    # getdoc() follows the MRO, so a documented base
+                    # method covers its overrides.
+                    assert inspect.getdoc(getattr(obj, meth_name)), (
+                        f"{module_name}.{name}.{meth_name} lacks a docstring"
+                    )
+
+
+def test_top_level_all_is_sorted_and_unique():
+    exported = [n for n in repro.__all__ if n != "__version__"]
+    assert len(set(exported)) == len(exported)
+
+
+def test_index_registry_matches_classes():
+    from repro.indexes import INDEX_FAMILIES
+
+    for name, cls in INDEX_FAMILIES.items():
+        assert cls.name == name, f"registry key {name} != class name {cls.name}"
