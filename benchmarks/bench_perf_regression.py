@@ -1,0 +1,254 @@
+"""Perf-regression benchmark: smoothing kernel + batch query engine.
+
+Measures the two hot paths this repo's performance work targets and
+records the throughput trajectory to ``BENCH_perf.json`` so later PRs
+have numbers to defend:
+
+* **Smoothing** — Algorithm 1 (`smooth_keys`) on uniform keys, current
+  incremental/vectorised kernel vs an embedded replica of the original
+  ("seed") kernel: per-gap Python suffix comprehension plus
+  ``np.insert`` + full recompute per commit.  The replica also serves
+  as a behavioural oracle: the virtual-point sequences must match.
+* **Lookups** — per backend, the per-key ``lookup_stats`` loop vs the
+  vectorised ``lookup_many`` batch engine (results asserted equal).
+* **Inserts** — for the updatable backends, the per-key ``insert``
+  loop vs ``insert_many``.
+
+Run directly::
+
+    python benchmarks/bench_perf_regression.py           # full (n=10k)
+    python benchmarks/bench_perf_regression.py --quick   # CI smoke
+
+The quick mode is what ``tests/test_bench_scripts.py`` invokes under
+the ``slow`` marker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.segment_stats import (  # noqa: E402
+    SegmentStats,
+    sum_of_rank_squares,
+    sum_of_ranks,
+)
+from repro.core.smoothing import smooth_keys  # noqa: E402
+from repro.indexes import INDEX_FAMILIES  # noqa: E402
+
+UPDATABLE = ("sorted_array", "btree", "alex", "lipp", "sali")
+
+
+# ----------------------------------------------------------------------
+# Seed-kernel replica (the pre-optimisation implementation)
+# ----------------------------------------------------------------------
+class _SeedStats(SegmentStats):
+    """SegmentStats with the seed's commit: ``np.insert`` + full float
+    recompute, no incremental statistics."""
+
+    def commit(self, value: int) -> int:  # type: ignore[override]
+        value = int(value)
+        rank = self.insertion_rank(value)
+        merged = np.insert(self.points, rank, value)
+        self.__init__(merged)
+        return rank
+
+
+def _seed_best_candidate(stats: SegmentStats) -> tuple[int, float] | None:
+    """The seed's greedy step: per-gap Python suffix comprehension and
+    a concatenated candidate array through ``evaluate_many``."""
+    points = stats.points
+    lows = points[:-1] + 1
+    highs = points[1:] - 1
+    gap_mask = highs >= lows
+    if not np.any(gap_mask):
+        return None
+    lows = lows[gap_mask]
+    highs = highs[gap_mask]
+    ranks = np.nonzero(gap_mask)[0] + 1
+    n = stats.n
+    big_n = n + 1
+    sy = sum_of_ranks(big_n)
+    ybar = sy / big_n
+    sk, skk, sky = stats.centered_sums()
+    suffix = np.array([stats.suffix_key_sum(int(r)) for r in ranks])  # the hot loop
+    c0 = (sky + suffix) - sk * ybar
+    c1 = ranks - ybar
+    v0 = skk - sk * sk / big_n
+    v1 = -2.0 * sk / big_n
+    v2 = 1.0 - 1.0 / big_n
+    denom = c1 * v1 - 2.0 * c0 * v2
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_star = np.where(denom != 0.0, (c0 * v1 - 2.0 * c1 * v0) / denom, np.nan)
+    star = t_star + stats.reference
+    cand_values = [lows, highs]
+    cand_ranks = [ranks, ranks]
+    interior = np.isfinite(star) & (star > lows) & (star < highs)
+    if np.any(interior):
+        floor_v = np.floor(star[interior]).astype(np.int64)
+        lo_i = lows[interior]
+        hi_i = highs[interior]
+        cand_values.append(np.clip(floor_v, lo_i, hi_i))
+        cand_ranks.append(ranks[interior])
+        cand_values.append(np.clip(floor_v + 1, lo_i, hi_i))
+        cand_ranks.append(ranks[interior])
+    values = np.concatenate(cand_values)
+    value_ranks = np.concatenate(cand_ranks)
+    losses = stats.evaluate_many(values, value_ranks)
+    best = int(np.argmin(losses))
+    return int(values[best]), float(losses[best])
+
+
+def _seed_smooth(keys: np.ndarray, budget: int) -> list[int]:
+    """The seed greedy loop (virtual points only)."""
+    stats = _SeedStats(keys)
+    previous = stats.base_loss()
+    virtual: list[int] = []
+    while len(virtual) < budget:
+        found = _seed_best_candidate(stats)
+        if found is None or found[1] >= previous:
+            break
+        value, loss = found
+        stats.commit(value)
+        virtual.append(value)
+        previous = loss
+    return virtual
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+def bench_smoothing(n: int, alpha: float, seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, n * 1000, n))
+    budget = max(1, int(alpha * keys.size))
+
+    start = time.perf_counter()
+    result = smooth_keys(keys, budget=budget)
+    current_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    seed_virtual = _seed_smooth(keys, budget)
+    seed_s = time.perf_counter() - start
+
+    if result.virtual_points != seed_virtual:
+        raise AssertionError("optimised smoothing diverged from the seed kernel")
+    committed = max(result.n_virtual, 1)
+    return {
+        "n_keys": int(keys.size),
+        "alpha": alpha,
+        "virtual_points": result.n_virtual,
+        "seed_seconds": round(seed_s, 4),
+        "current_seconds": round(current_s, 4),
+        "seed_points_per_s": round(committed / seed_s, 1),
+        "current_points_per_s": round(committed / current_s, 1),
+        "speedup": round(seed_s / current_s, 2),
+    }
+
+
+def bench_lookups(n: int, n_queries: int, seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, n * 10_000, n))
+    queries = rng.choice(keys, n_queries)
+    out = {}
+    for family, cls in INDEX_FAMILIES.items():
+        loop_index = cls.build(keys)
+        start = time.perf_counter()
+        scalar = [loop_index.lookup_stats(int(k)) for k in queries]
+        loop_s = time.perf_counter() - start
+
+        batch_index = cls.build(keys)
+        start = time.perf_counter()
+        batch = batch_index.lookup_many(queries)
+        batch_s = time.perf_counter() - start
+
+        for i in range(0, batch.n_queries, max(1, batch.n_queries // 200)):
+            s, b = scalar[i], batch.stat(i)
+            if (s.found, s.value, s.levels, s.search_steps) != (
+                b.found, b.value, b.levels, b.search_steps,
+            ):
+                raise AssertionError(f"{family}: batch lookup diverged at query {i}")
+        out[family] = {
+            "loop_lookups_per_s": round(n_queries / loop_s, 1),
+            "batch_lookups_per_s": round(n_queries / batch_s, 1),
+            "speedup": round(loop_s / batch_s, 2),
+        }
+    return out
+
+
+def bench_inserts(n: int, n_inserts: int, seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    universe = np.unique(rng.integers(0, n * 10_000, n + 2 * n_inserts))
+    rng.shuffle(universe)
+    build_keys = np.sort(universe[:n])
+    fresh = universe[n : n + n_inserts]
+    out = {}
+    for family in UPDATABLE:
+        cls = INDEX_FAMILIES[family]
+        loop_index = cls.build(build_keys)
+        start = time.perf_counter()
+        for k in fresh.tolist():
+            loop_index.insert(int(k), int(k))
+        loop_s = time.perf_counter() - start
+
+        batch_index = cls.build(build_keys)
+        start = time.perf_counter()
+        batch_index.insert_many(fresh)
+        batch_s = time.perf_counter() - start
+        out[family] = {
+            "loop_inserts_per_s": round(n_inserts / loop_s, 1),
+            "batch_inserts_per_s": round(n_inserts / batch_s, 1),
+            "speedup": round(loop_s / batch_s, 2),
+        }
+    return out
+
+
+def run(quick: bool, out_path: Path, seed: int = 0) -> dict:
+    n = 2_000 if quick else 10_000
+    alpha = 0.2
+    n_queries = 4_000 if quick else 20_000
+    n_inserts = 500 if quick else 2_000
+    report = {
+        "config": {"quick": quick, "n": n, "alpha": alpha,
+                   "n_queries": n_queries, "n_inserts": n_inserts, "seed": seed},
+        "smoothing": bench_smoothing(n, alpha, seed),
+        "lookups": bench_lookups(n, n_queries, seed),
+        "inserts": bench_inserts(n, n_inserts, seed),
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_perf.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run(args.quick, args.out, args.seed)
+    smoothing = report["smoothing"]
+    print(f"smoothing  n={smoothing['n_keys']}  seed {smoothing['seed_seconds']}s  "
+          f"current {smoothing['current_seconds']}s  ({smoothing['speedup']}x)")
+    for family, row in report["lookups"].items():
+        print(f"lookup {family:12s} loop {row['loop_lookups_per_s']:>12.0f}/s  "
+              f"batch {row['batch_lookups_per_s']:>12.0f}/s  ({row['speedup']}x)")
+    for family, row in report["inserts"].items():
+        print(f"insert {family:12s} loop {row['loop_inserts_per_s']:>12.0f}/s  "
+              f"batch {row['batch_inserts_per_s']:>12.0f}/s  ({row['speedup']}x)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

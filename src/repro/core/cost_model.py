@@ -54,6 +54,21 @@ class CostConstants:
         """Simulated latency of one query given its traversal stats."""
         return self.base_ns + self.traversal_ns * levels + self.search_ns * search_steps
 
+    def query_ns_batch(self, levels, search_steps):
+        """Vectorised :meth:`query_ns` over parallel stat arrays.
+
+        Accepts numpy arrays (or anything broadcastable) and returns a
+        float64 array — the kernel behind
+        :meth:`repro.indexes.base.BatchQueryStats.simulated_ns`.
+        """
+        import numpy as np
+
+        return (
+            self.base_ns
+            + self.traversal_ns * np.asarray(levels, dtype=np.float64)
+            + self.search_ns * np.asarray(search_steps, dtype=np.float64)
+        )
+
 
 def expected_search_steps(loss: float, n_keys: int) -> float:
     """Expected exponential-search iterations from a node's SSE.

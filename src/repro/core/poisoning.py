@@ -68,7 +68,7 @@ def _worst_candidate(stats: SegmentStats) -> tuple[int, float] | None:
     big_n = n + 1
     ybar = sum_of_ranks(big_n) / big_n
     sk, __, sky = stats.centered_sums()
-    suffix = np.array([stats.suffix_key_sum(int(r)) for r in ranks])
+    suffix = stats.suffix_key_sums(ranks)
     c0 = (sky + suffix) - sk * ybar
     c1 = ranks - ybar
     with np.errstate(divide="ignore", invalid="ignore"):
@@ -126,7 +126,7 @@ def poison_keys(
     return PoisoningResult(
         original_keys=original,
         poison_points=poison,
-        points=stats.points,
+        points=stats.points.copy(),
         original_loss=original_loss,
         final_loss=current_loss,
         loss_trace=trace,

@@ -57,42 +57,71 @@ def quadratic_fit_and_loss(
 
 
 class _QuadState:
-    """Moment sums for O(1) quadratic refits under point insertion."""
+    """Moment sums for O(1) quadratic refits under point insertion.
+
+    Mirrors the incremental design of
+    :class:`~repro.core.segment_stats.SegmentStats`: points and the two
+    prefix arrays live in amortised capacity-doubling buffers, and each
+    :meth:`commit` updates the moments in O(1) plus an O(shift) memmove
+    — the normalisation ``scale`` is fixed by the endpoint span at
+    construction, and virtual points are strictly interior, so no
+    commit can ever change it.
+    """
 
     def __init__(self, keys: np.ndarray):
-        self.points = keys.copy()
+        n = int(keys.size)
+        self._buf = keys.copy()
+        self._size = n
         self.pivot = int(keys[0])
-        self._refresh()
-
-    def _refresh(self) -> None:
-        t = (self.points - np.int64(self.pivot)).astype(np.float64)
+        t = (keys - np.int64(self.pivot)).astype(np.float64)
         self.scale = float(t.max() - t.min()) or 1.0
         u = t / self.scale
-        y = np.arange(u.size, dtype=np.float64)
-        self.u = u
+        y = np.arange(n, dtype=np.float64)
         self.s1 = float(u.sum())
         self.s2 = float(np.dot(u, u))
         u2 = u * u
         self.s3 = float(np.dot(u2, u))
         self.s4 = float(np.dot(u2, u2))
-        self.sy = float(y.sum())
         self.suy = float(np.dot(u, y))
         self.su2y = float(np.dot(u2, y))
         # prefix sums for suffix queries under a rank shift
-        self.prefix_u = np.cumsum(u)
-        self.prefix_u2 = np.cumsum(u2)
+        self._prefix_u_buf = np.empty(n, dtype=np.float64)
+        np.cumsum(u, out=self._prefix_u_buf)
+        self._prefix_u2_buf = np.empty(n, dtype=np.float64)
+        np.cumsum(u2, out=self._prefix_u2_buf)
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._buf[: self._size]
 
     @property
     def n(self) -> int:
-        return int(self.points.size)
+        return self._size
+
+    @property
+    def prefix_u(self) -> np.ndarray:
+        return self._prefix_u_buf[: self._size]
+
+    @property
+    def prefix_u2(self) -> np.ndarray:
+        return self._prefix_u2_buf[: self._size]
 
     def _suffix(self, prefix: np.ndarray, rank: int) -> float:
-        total = float(prefix[-1])
+        total = float(prefix[self._size - 1])
         if rank <= 0:
             return total
-        if rank >= self.n:
+        if rank >= self._size:
             return 0.0
         return total - float(prefix[rank - 1])
+
+    def _suffixes(self, prefix: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_suffix` over an array of ranks."""
+        n = self._size
+        total = float(prefix[n - 1])
+        idx = np.clip(ranks - 1, 0, n - 1)
+        return np.where(
+            ranks <= 0, total, np.where(ranks >= n, 0.0, total - prefix[idx])
+        )
 
     def candidate_loss(self, value: int, rank: int) -> float:
         """SSE of the quadratic refit if (value, rank) were inserted."""
@@ -124,34 +153,117 @@ class _QuadState:
         return max(sse, 0.0)
 
     def best_candidate(self) -> tuple[int, float] | None:
-        lows = self.points[:-1] + 1
-        highs = self.points[1:] - 1
+        """Vectorised global best ``(value, loss)`` over every gap.
+
+        Every gap contributes its endpoints plus a geometric ladder of
+        interior probes; all candidates are scored in one batch — the
+        3×3 normal equations become an ``(N, 3, 3)`` stacked solve.
+        Falls back to the scalar path if the batched solve hits a
+        singular system (the scalar path prices those as ``inf``).
+
+        Ties resolve to the earliest gap (like the scalar loop) and,
+        within a gap, to the fixed candidate order low → high →
+        interior ladder (the scalar loop's ``set`` iteration order was
+        arbitrary there; equal-loss candidates are interchangeable).
+        """
+        points = self.points
+        lows = points[:-1] + 1
+        highs = points[1:] - 1
         open_gaps = np.nonzero(highs >= lows)[0]
         if open_gaps.size == 0:
             return None
-        best_value = None
-        best_loss = float("inf")
-        for i in open_gaps.tolist():
-            low = int(lows[i])
-            high = int(highs[i])
-            rank = i + 1
-            probes = {low, high}
-            span = high - low
-            for j in range(1, PROBES_PER_GAP + 1):
-                probes.add(low + span * j // (PROBES_PER_GAP + 1))
-            for value in probes:
-                loss = self.candidate_loss(value, rank)
-                if loss < best_loss:
-                    best_loss = loss
-                    best_value = value
-        if best_value is None:
+        lows = lows[open_gaps]
+        highs = highs[open_gaps]
+        ranks = open_gaps + 1
+        spans = highs - lows
+        # Candidate matrix: endpoints + interior ladder (dupes in tiny
+        # gaps are harmless — equal values give equal losses).
+        cols = [lows, highs]
+        for j in range(1, PROBES_PER_GAP + 1):
+            cols.append(lows + spans * j // (PROBES_PER_GAP + 1))
+        values = np.concatenate(cols)
+        value_ranks = np.tile(ranks, PROBES_PER_GAP + 2)
+        losses = self._candidate_losses(values, value_ranks)
+        if losses is None:
+            # Singular batch: score candidates one by one (rare).
+            losses = np.asarray(
+                [self.candidate_loss(int(v), int(r)) for v, r in zip(values, value_ranks)]
+            )
+        # (candidate, gap) layout: pick the best per gap (candidate
+        # order breaks within-gap ties), then the earliest best gap.
+        per_gap = losses.reshape(PROBES_PER_GAP + 2, open_gaps.size)
+        value_matrix = values.reshape(PROBES_PER_GAP + 2, open_gaps.size)
+        cand_pick = np.argmin(per_gap, axis=0)
+        gap_cols = np.arange(open_gaps.size)
+        gap_losses = per_gap[cand_pick, gap_cols]
+        best_gap = int(np.argmin(gap_losses))
+        return (
+            int(value_matrix[cand_pick[best_gap], best_gap]),
+            float(gap_losses[best_gap]),
+        )
+
+    def _candidate_losses(self, values: np.ndarray, ranks: np.ndarray) -> np.ndarray | None:
+        """Batched :meth:`candidate_loss`; None if any system is singular."""
+        n = self._size
+        big_n = n + 1
+        uv = (values - np.int64(self.pivot)).astype(np.float64) / self.scale
+        uv2 = uv * uv
+        s1 = self.s1 + uv
+        s2 = self.s2 + uv2
+        s3 = self.s3 + uv2 * uv
+        s4 = self.s4 + uv2 * uv2
+        sy = sum_of_ranks(big_n)
+        syy = sum_of_rank_squares(big_n)
+        suy = self.suy + self._suffixes(self.prefix_u, ranks) + uv * ranks
+        su2y = self.su2y + self._suffixes(self.prefix_u2, ranks) + uv2 * ranks
+        m = values.size
+        gram = np.empty((m, 3, 3), dtype=np.float64)
+        gram[:, 0, 0] = s4
+        gram[:, 0, 1] = gram[:, 1, 0] = s3
+        gram[:, 0, 2] = gram[:, 2, 0] = gram[:, 1, 1] = s2
+        gram[:, 1, 2] = gram[:, 2, 1] = s1
+        gram[:, 2, 2] = float(big_n)
+        rhs = np.stack([su2y, suy, np.full(m, sy)], axis=1)
+        try:
+            # trailing singleton axis: one RHS vector per stacked system
+            coeffs = np.linalg.solve(gram, rhs[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError:
             return None
-        return best_value, best_loss
+        # SSE = Σy² - 2·coeffᵀrhs + coeffᵀ G coeff  (quadratic form)
+        sse = (
+            syy
+            - 2.0 * np.einsum("ij,ij->i", coeffs, rhs)
+            + np.einsum("ij,ijk,ik->i", coeffs, gram, coeffs)
+        )
+        return np.maximum(sse, 0.0)
 
     def commit(self, value: int) -> None:
+        """Insert *value*: O(1) moment updates + O(shift) memmoves."""
+        value = int(value)
         rank = int(np.searchsorted(self.points, value))
-        self.points = np.insert(self.points, rank, value)
-        self._refresh()
+        n = self._size
+        if n + 1 > self._buf.size:
+            new_cap = max(2 * self._buf.size, n + 1)
+            for name in ("_buf", "_prefix_u_buf", "_prefix_u2_buf"):
+                old = getattr(self, name)
+                grown = np.empty(new_cap, dtype=old.dtype)
+                grown[:n] = old[:n]
+                setattr(self, name, grown)
+        uv = float(value - self.pivot) / self.scale
+        uv2 = uv * uv
+        self.suy += self._suffix(self.prefix_u, rank) + uv * rank
+        self.su2y += self._suffix(self.prefix_u2, rank) + uv2 * rank
+        self.s1 += uv
+        self.s2 += uv2
+        self.s3 += uv2 * uv
+        self.s4 += uv2 * uv2
+        self._buf[rank + 1 : n + 1] = self._buf[rank:n]
+        self._buf[rank] = value
+        for buf, delta in ((self._prefix_u_buf, uv), (self._prefix_u2_buf, uv2)):
+            prev = float(buf[rank - 1]) if rank > 0 else 0.0
+            buf[rank + 1 : n + 1] = buf[rank:n] + delta
+            buf[rank] = prev + delta
+        self._size = n + 1
 
 
 @dataclass
@@ -218,7 +330,7 @@ def smooth_keys_quadratic(
     return QuadraticSmoothingResult(
         original_keys=original,
         virtual_points=virtual,
-        points=state.points,
+        points=state.points.copy(),
         original_loss=original_loss,
         final_loss=final,
         model=model,

@@ -33,6 +33,31 @@ All key sums are computed over *centered* keys (``k - ref``) so that
 64-bit key magnitudes do not lose the covariance to floating-point
 cancellation.  :mod:`repro.core.loss` provides an exact Fraction-based
 reference used by the property tests to validate this fast path.
+
+Incremental commits
+-------------------
+
+:meth:`SegmentStats.commit` is the hot mutation of Algorithm 1 — one
+call per committed virtual point.  It updates the statistics
+*incrementally* instead of rebuilding them:
+
+* the point array and the prefix-sum array live in amortised
+  capacity-doubling buffers, so a commit costs one ``O(shift)``
+  memmove (``shift`` = points above the insertion rank) instead of a
+  fresh ``np.insert`` allocation;
+* ``Sk/Skk/Sky`` are maintained as exact Python integers (centered
+  keys are integers), so the incremental update after each commit is
+  *bit-identical* to a from-scratch rebuild — the parity the property
+  tests in ``tests/core/test_incremental_stats.py`` assert;
+* the prefix array is kept in exact ``int64`` while the worst-case
+  partial sum provably fits (``n · span < 2^62``); pathological spans
+  degrade once to the legacy float path, which recomputes from scratch
+  per commit and therefore stays trivially rebuild-identical.
+
+Candidate evaluation reads the float mirrors of the integer sums, so
+:meth:`evaluate_many` (and the vectorised
+:meth:`suffix_key_sums` that backs the greedy smoother's gap scan)
+remain pure float64 array kernels.
 """
 
 from __future__ import annotations
@@ -45,6 +70,10 @@ from .exceptions import InvalidKeysError
 from .linear_model import LinearModel
 
 __all__ = ["CandidateEvaluation", "SegmentStats", "validate_keys"]
+
+#: Exact-int64 prefix sums are used while ``n_points * span`` stays
+#: below this bound (headroom under the 2^63 int64 limit).
+_INT64_SAFE_BOUND = 2**62
 
 
 def validate_keys(keys: np.ndarray | list) -> np.ndarray:
@@ -108,46 +137,111 @@ class SegmentStats:
     virtual points).
 
     Instances are mutated only through :meth:`commit`; candidate
-    evaluation is read-only and O(1).  ``points`` is the current sorted
-    array of all point values, which the greedy smoother also uses to
-    enumerate gaps.
+    evaluation is read-only and O(1).  :attr:`points` is a read-only
+    view of the current sorted point array, which the greedy smoother
+    also uses to enumerate gaps.
     """
 
-    __slots__ = ("points", "_ref", "_centered", "_sk", "_skk", "_sky", "_prefix")
+    __slots__ = (
+        "_buf",
+        "_prefix",
+        "_size",
+        "_ref",
+        "_span",
+        "_exact",
+        "_sk_int",
+        "_skk_int",
+        "_sky_int",
+        "_sk",
+        "_skk",
+        "_sky",
+    )
 
     def __init__(self, keys: np.ndarray | list):
         points = validate_keys(keys)
-        self.points = points
+        n = int(points.size)
+        self._buf = points.copy()
+        self._size = n
         self._ref = int(points[0])
-        self._recompute()
+        self._span = int(points[-1]) - int(points[0])
+        self._exact = (n + 1) * max(self._span, 1) < _INT64_SAFE_BOUND
+        if self._exact:
+            self._recompute_exact()
+        else:
+            self._recompute_float()
 
-    def _recompute(self) -> None:
-        # Subtract the pivot in integer arithmetic BEFORE the float
-        # conversion: int64 keys exceed float64's mantissa, and losing
-        # the low bits here would corrupt every loss computation.
-        centered = (self.points - np.int64(self._ref)).astype(np.float64)
-        ranks = np.arange(centered.size, dtype=np.float64)
-        self._centered = centered
+    # ------------------------------------------------------------------
+    # Statistic (re)computation
+    # ------------------------------------------------------------------
+    def _recompute_exact(self) -> None:
+        """Exact integer sums + int64 prefix array (the common path).
+
+        Centered keys are int64, so all three moments are integers; the
+        guard in :meth:`commit` ensures every intermediate fits int64
+        where an array is involved, while the scalar moments use Python
+        arbitrary-precision integers.  The float mirrors are derived
+        with exactly one rounding each, which makes incremental updates
+        and from-scratch rebuilds agree bit-for-bit.
+        """
+        n = self._size
+        centered = self._buf[:n] - np.int64(self._ref)
+        span = max(self._span, 1)
+        self._sk_int = int(centered.sum(dtype=np.int64))
+        if span * span * n < _INT64_SAFE_BOUND:
+            self._skk_int = int((centered * centered).sum(dtype=np.int64))
+        else:
+            self._skk_int = sum(x * x for x in centered.tolist())
+        ranks = np.arange(n, dtype=np.int64)
+        if span * n * n < _INT64_SAFE_BOUND:
+            self._sky_int = int((centered * ranks).sum(dtype=np.int64))
+        else:
+            self._sky_int = sum(x * i for i, x in enumerate(centered.tolist()))
+        self._prefix = np.empty(self._buf.size, dtype=np.int64)
+        np.cumsum(centered, out=self._prefix[:n])
+        self._sync_float_mirrors()
+
+    def _recompute_float(self) -> None:
+        """Legacy float path for pathological ``n·span`` magnitudes.
+
+        Subtract the pivot in integer arithmetic BEFORE the float
+        conversion: int64 keys exceed float64's mantissa, and losing
+        the low bits here would corrupt every loss computation.
+        """
+        n = self._size
+        centered = (self._buf[:n] - np.int64(self._ref)).astype(np.float64)
+        ranks = np.arange(n, dtype=np.float64)
+        self._sk_int = self._skk_int = self._sky_int = None
         self._sk = float(centered.sum())
         self._skk = float(np.dot(centered, centered))
         self._sky = float(np.dot(centered, ranks))
-        self._prefix = np.cumsum(centered)
+        self._prefix = np.empty(self._buf.size, dtype=np.float64)
+        np.cumsum(centered, out=self._prefix[:n])
+
+    def _sync_float_mirrors(self) -> None:
+        self._sk = float(self._sk_int)
+        self._skk = float(self._skk_int)
+        self._sky = float(self._sky_int)
 
     # ------------------------------------------------------------------
     # Read-only views
     # ------------------------------------------------------------------
     @property
+    def points(self) -> np.ndarray:
+        """The current sorted point array (a view; do not mutate)."""
+        return self._buf[: self._size]
+
+    @property
     def n(self) -> int:
         """Number of points in the current set."""
-        return int(self.points.size)
+        return self._size
 
     @property
     def key_min(self) -> int:
-        return int(self.points[0])
+        return int(self._buf[0])
 
     @property
     def key_max(self) -> int:
-        return int(self.points[-1])
+        return int(self._buf[self._size - 1])
 
     @property
     def reference(self) -> int:
@@ -162,9 +256,36 @@ class SegmentStats:
         """Σ of centered key values with rank ≥ *rank* in the base set."""
         if rank <= 0:
             return self._sk
-        if rank >= self.n:
+        if rank >= self._size:
             return 0.0
+        if self._exact:
+            return float(self._sk_int - int(self._prefix[rank - 1]))
         return self._sk - float(self._prefix[rank - 1])
+
+    def suffix_key_sums(self, ranks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`suffix_key_sum` over an array of ranks.
+
+        This is the kernel behind the greedy smoother's per-gap scan:
+        one fancy-indexed read of the prefix array replaces a Python
+        comprehension over every gap.
+        """
+        ranks = np.asarray(ranks, dtype=np.int64)
+        n = self._size
+        idx = np.clip(ranks - 1, 0, n - 1)
+        if self._exact:
+            inner = np.int64(self._sk_int) - self._prefix[idx]
+            out = np.where(
+                ranks <= 0,
+                np.int64(self._sk_int),
+                np.where(ranks >= n, np.int64(0), inner),
+            ).astype(np.float64)
+        else:
+            out = np.where(
+                ranks <= 0,
+                self._sk,
+                np.where(ranks >= n, 0.0, self._sk - self._prefix[idx]),
+            )
+        return out
 
     def insertion_rank(self, value: int) -> int:
         """Rank a virtual point with this value would take (Eq. 9 context)."""
@@ -173,7 +294,7 @@ class SegmentStats:
     def contains(self, value: int) -> bool:
         """True if *value* already exists in the point set."""
         idx = self.insertion_rank(value)
-        return idx < self.n and int(self.points[idx]) == int(value)
+        return idx < self._size and int(self._buf[idx]) == int(value)
 
     # ------------------------------------------------------------------
     # Base-set loss and model (no virtual point)
@@ -245,7 +366,7 @@ class SegmentStats:
         """
         value = int(value)
         rank = self.insertion_rank(value)
-        if rank < self.n and int(self.points[rank]) == value:
+        if rank < self.n and int(self._buf[rank]) == value:
             raise InvalidKeysError(f"candidate {value} already exists in the point set")
         t = float(value - self._ref)
         c0, c1, v0, v1, v2, syyc = self.candidate_terms(rank)
@@ -281,12 +402,7 @@ class SegmentStats:
         sy = sum_of_ranks(big_n)
         syy = sum_of_rank_squares(big_n)
         ybar = sy / big_n
-        # suffix sums for each rank, vectorised over the prefix array
-        suffix = np.where(
-            ranks <= 0,
-            self._sk,
-            np.where(ranks >= n, 0.0, self._sk - self._prefix[np.clip(ranks - 1, 0, n - 1)]),
-        )
+        suffix = self.suffix_key_sums(ranks)
         cov = (self._sky + suffix - self._sk * ybar) + (ranks - ybar) * t
         var = (self._skk - self._sk * self._sk / big_n) + (-2.0 * self._sk / big_n) * t + (1.0 - 1.0 / big_n) * t * t
         syyc = syy - sy * sy / big_n
@@ -297,19 +413,52 @@ class SegmentStats:
     # ------------------------------------------------------------------
     # Commit (the "adjustment for multiple virtual points" of Sec. 4.1)
     # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        """Double the points/prefix buffers (amortised O(1) per commit)."""
+        new_cap = max(2 * self._buf.size, self._size + 1)
+        buf = np.empty(new_cap, dtype=np.int64)
+        buf[: self._size] = self._buf[: self._size]
+        self._buf = buf
+        prefix = np.empty(new_cap, dtype=self._prefix.dtype)
+        prefix[: self._size] = self._prefix[: self._size]
+        self._prefix = prefix
+
     def commit(self, value: int) -> int:
         """Insert *value* into the point set and refresh statistics.
 
-        Returns the rank at which the point was inserted.  O(n) for the
-        array insertion and prefix-sum refresh; candidate evaluation
+        Returns the rank at which the point was inserted.  On the exact
+        path this is O(log n) for the rank lookup plus O(shift) for the
+        buffer memmoves (shift = points above the insertion rank); the
+        moment updates themselves are O(1).  Candidate evaluation
         afterwards treats the merged set as the new base set, exactly as
         the paper's "treat the key set with the previous virtual point
         inserted as the new original" step.
         """
         value = int(value)
         rank = self.insertion_rank(value)
-        if rank < self.n and int(self.points[rank]) == value:
+        n = self._size
+        if rank < n and int(self._buf[rank]) == value:
             raise InvalidKeysError(f"cannot commit duplicate point {value}")
-        self.points = np.insert(self.points, rank, value)
-        self._recompute()
+        if n + 1 > self._buf.size:
+            self._grow()
+        # Shift the tail right by one (numpy handles the overlap).
+        self._buf[rank + 1 : n + 1] = self._buf[rank:n]
+        self._buf[rank] = value
+        self._size = n + 1
+        if self._exact and (n + 2) * max(self._span, 1) < _INT64_SAFE_BOUND:
+            c = value - self._ref
+            prev = int(self._prefix[rank - 1]) if rank > 0 else 0
+            suffix = self._sk_int - prev
+            self._prefix[rank + 1 : n + 1] = self._prefix[rank:n] + np.int64(c)
+            self._prefix[rank] = prev + c
+            self._sk_int += c
+            self._skk_int += c * c
+            self._sky_int += suffix + c * rank
+            self._sync_float_mirrors()
+        else:
+            if self._exact:
+                # One-time degrade: future prefix sums could overflow
+                # int64, so fall back to the float recompute path.
+                self._exact = False
+            self._recompute_float()
         return rank

@@ -21,7 +21,11 @@ The greedy inner loop is vectorised with numpy: for every gap it scores
 the two endpoints plus the closed-form interior stationary point — a
 superset of the candidates Algorithm 1's sign test would retain, so the
 selected point is identical while the work per iteration stays O(n)
-with small constants.
+with small constants.  The per-gap suffix key sums come from
+:meth:`~repro.core.segment_stats.SegmentStats.suffix_key_sums` (one
+fancy-indexed read of the prefix array) and each committed point
+updates the statistics incrementally, so a full run over n keys does
+no per-gap Python work at all.
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ from .candidates import all_free_values
 from .exceptions import SmoothingBudgetError
 from .linear_model import LinearModel
 from .loss import fit_and_loss
-from .segment_stats import SegmentStats, sum_of_ranks, validate_keys
+from .segment_stats import SegmentStats, sum_of_rank_squares, sum_of_ranks, validate_keys
 
 __all__ = [
     "SmoothingResult",
@@ -134,6 +138,13 @@ def _best_candidate(stats: SegmentStats) -> tuple[int, float] | None:
     stationary point (where it falls strictly inside), which is a
     superset of Algorithm 1's filtered candidates; the argmin therefore
     matches the scalar implementation exactly.
+
+    The per-gap constants ``c0, c1`` (and the scalar ``v*`` terms) of
+    Eqs. 10-16 are computed once per gap from the vectorised suffix
+    sums; every candidate in a gap then costs a handful of float ops on
+    its centered value ``t`` — the same closed forms
+    :meth:`~repro.core.segment_stats.SegmentStats.evaluate_many`
+    applies, without materialising a concatenated candidate array.
     Returns ``None`` when no free value exists.
     """
     points = stats.points
@@ -149,39 +160,58 @@ def _best_candidate(stats: SegmentStats) -> tuple[int, float] | None:
     n = stats.n
     big_n = n + 1
     sy = sum_of_ranks(big_n)
+    syy = sum_of_rank_squares(big_n)
     ybar = sy / big_n
     sk, skk, sky = stats.centered_sums()
-    suffix = np.array([stats.suffix_key_sum(int(r)) for r in ranks])
+    suffix = stats.suffix_key_sums(ranks)
     c0 = (sky + suffix) - sk * ybar
     c1 = ranks - ybar
     v0 = skk - sk * sk / big_n
     v1 = -2.0 * sk / big_n
     v2 = 1.0 - 1.0 / big_n
+    syyc = syy - sy * sy / big_n
+    ref = np.int64(stats.reference)
 
-    # Interior stationary point in centered coordinates, then back.
+    def losses_at(t: np.ndarray, cc0: np.ndarray, cc1: np.ndarray) -> np.ndarray:
+        cov = cc0 + cc1 * t
+        var = v0 + v1 * t + v2 * t * t
+        with np.errstate(divide="ignore", invalid="ignore"):
+            loss = syyc - np.where(var > 0.0, cov * cov / var, 0.0)
+        return np.maximum(loss, 0.0)
+
+    # Candidate blocks, evaluated in the scalar reference's
+    # concatenation order: all lows, all highs, interior floors,
+    # interior ceils.  Strict `<` between blocks (and first-occurrence
+    # argmin inside each) reproduces the reference argmin exactly,
+    # ties included.
+    blocks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+        (lows, c0, c1),
+        (highs, c0, c1),
+    ]
     denom = c1 * v1 - 2.0 * c0 * v2
     with np.errstate(divide="ignore", invalid="ignore"):
         t_star = np.where(denom != 0.0, (c0 * v1 - 2.0 * c1 * v0) / denom, np.nan)
     star = t_star + stats.reference
-
-    cand_values = [lows, highs]
-    cand_ranks = [ranks, ranks]
     interior = np.isfinite(star) & (star > lows) & (star < highs)
     if np.any(interior):
-        floor_v = np.floor(star[interior]).astype(np.int64)
-        ceil_v = floor_v + 1
-        lo_i = lows[interior]
-        hi_i = highs[interior]
-        cand_values.append(np.clip(floor_v, lo_i, hi_i))
-        cand_ranks.append(ranks[interior])
-        cand_values.append(np.clip(ceil_v, lo_i, hi_i))
-        cand_ranks.append(ranks[interior])
+        idx = np.nonzero(interior)[0]
+        lo_i = lows[idx]
+        hi_i = highs[idx]
+        floor_v = np.clip(np.floor(star[idx]).astype(np.int64), lo_i, hi_i)
+        blocks.append((floor_v, c0[idx], c1[idx]))
+        blocks.append((np.clip(floor_v + 1, lo_i, hi_i), c0[idx], c1[idx]))
 
-    values = np.concatenate(cand_values)
-    value_ranks = np.concatenate(cand_ranks)
-    losses = stats.evaluate_many(values, value_ranks)
-    best = int(np.argmin(losses))
-    return int(values[best]), float(losses[best])
+    best_value: int | None = None
+    best_loss = np.inf
+    for values, cc0, cc1 in blocks:
+        losses = losses_at((values - ref).astype(np.float64), cc0, cc1)
+        pick = int(np.argmin(losses))
+        if float(losses[pick]) < best_loss:
+            best_loss = float(losses[pick])
+            best_value = int(values[pick])
+
+    assert best_value is not None
+    return best_value, best_loss
 
 
 def smooth_keys(
@@ -229,7 +259,7 @@ def smooth_keys(
     return SmoothingResult(
         original_keys=original,
         virtual_points=virtual,
-        points=stats.points,
+        points=stats.points.copy(),
         original_loss=original_loss,
         final_loss=previous_loss,
         model=stats.base_model(),

@@ -118,28 +118,83 @@ class _WeightedState:
     ``W, Swt, Swtt, Swy, Swyy, Swty`` (t = pivoted key) plus suffix
     sums of ``w`` and ``w·t`` indexed by current rank, so that the loss
     after inserting a virtual point at rank ``r`` is closed-form.
+
+    Mirrors the incremental design of
+    :class:`~repro.core.segment_stats.SegmentStats`: the point, weight
+    and suffix arrays live in amortised capacity-doubling buffers and
+    each :meth:`commit` updates the moments and suffix sums in place
+    (one O(shift) memmove per array) instead of re-deriving everything
+    from scratch.  A committed virtual point carries weight 0, so
+    ``W/Swt/Swtt`` are invariant and only the rank-dependent moments
+    move — by exactly the suffix terms :meth:`best_rank` already
+    evaluates.
     """
 
     def __init__(self, keys: np.ndarray, weights: np.ndarray):
-        self.keys = keys
-        self.w = weights
+        n = int(keys.size)
+        self._size = n
         self.pivot = int(keys[0])
-        self.t = (keys - np.int64(self.pivot)).astype(np.float64)
-        self.ranks = np.arange(keys.size, dtype=np.float64)
-        self._refresh()
-
-    def _refresh(self) -> None:
-        w, t, y = self.w, self.t, self.ranks
+        self._keys_buf = keys.astype(np.int64)
+        self._w_buf = weights.astype(np.float64)
+        self._t_buf = (keys - np.int64(self.pivot)).astype(np.float64)
+        w, t = self._w_buf, self._t_buf
+        y = np.arange(n, dtype=np.float64)
         self.W = float(w.sum())
         self.Swt = float(np.dot(w, t))
         self.Swtt = float(np.dot(w, t * t))
         self.Swy = float(np.dot(w, y))
         self.Swyy = float(np.dot(w, y * y))
         self.Swty = float(np.dot(w, t * y))
-        # suffix sums over *key index* (ranks are monotone in index)
-        self.suffix_w = np.concatenate([np.cumsum(w[::-1])[::-1], [0.0]])
-        self.suffix_wt = np.concatenate([np.cumsum((w * t)[::-1])[::-1], [0.0]])
-        self.suffix_wy = np.concatenate([np.cumsum((w * y)[::-1])[::-1], [0.0]])
+        # suffix sums over *key index* (ranks are monotone in index);
+        # one trailing 0 sentinel so index ``size`` is addressable.
+        self._suffix_w_buf = np.concatenate([np.cumsum(w[::-1])[::-1], [0.0]])
+        self._suffix_wt_buf = np.concatenate([np.cumsum((w * t)[::-1])[::-1], [0.0]])
+        self._suffix_wy_buf = np.concatenate([np.cumsum((w * y)[::-1])[::-1], [0.0]])
+
+    # ------------------------------------------------------------------
+    # Buffer views (read-only)
+    # ------------------------------------------------------------------
+    @property
+    def keys(self) -> np.ndarray:
+        return self._keys_buf[: self._size]
+
+    @property
+    def w(self) -> np.ndarray:
+        return self._w_buf[: self._size]
+
+    @property
+    def ranks(self) -> np.ndarray:
+        """Current ranks — always ``0..size-1`` since commits keep the
+        arrays sorted and contiguous."""
+        return np.arange(self._size, dtype=np.float64)
+
+    @property
+    def suffix_w(self) -> np.ndarray:
+        return self._suffix_w_buf[: self._size + 1]
+
+    @property
+    def suffix_wt(self) -> np.ndarray:
+        return self._suffix_wt_buf[: self._size + 1]
+
+    @property
+    def suffix_wy(self) -> np.ndarray:
+        return self._suffix_wy_buf[: self._size + 1]
+
+    def _grow(self) -> None:
+        """Double every buffer (amortised O(1) per commit)."""
+        new_cap = max(2 * self._keys_buf.size, self._size + 1)
+
+        def grown(buf: np.ndarray, used: int, cap: int) -> np.ndarray:
+            out = np.empty(cap, dtype=buf.dtype)
+            out[:used] = buf[:used]
+            return out
+
+        self._keys_buf = grown(self._keys_buf, self._size, new_cap)
+        self._w_buf = grown(self._w_buf, self._size, new_cap)
+        self._t_buf = grown(self._t_buf, self._size, new_cap)
+        self._suffix_w_buf = grown(self._suffix_w_buf, self._size + 1, new_cap + 1)
+        self._suffix_wt_buf = grown(self._suffix_wt_buf, self._size + 1, new_cap + 1)
+        self._suffix_wy_buf = grown(self._suffix_wy_buf, self._size + 1, new_cap + 1)
 
     def loss_at(self, first_shifted: int) -> float:
         """Weighted refit loss if keys from index *first_shifted* on
@@ -186,16 +241,44 @@ class _WeightedState:
         return int(open_gaps[best]), float(losses[best])
 
     def commit(self, gap_index: int) -> int:
-        """Insert a virtual point mid-gap after key *gap_index*."""
-        value = int((int(self.keys[gap_index]) + int(self.keys[gap_index + 1])) // 2)
-        self.ranks[gap_index + 1 :] += 1.0
-        self.keys = np.insert(self.keys, gap_index + 1, value)
-        self.t = (self.keys - np.int64(self.pivot)).astype(np.float64)
-        # the virtual point enters keys (for gap bookkeeping) with
-        # weight 0 so it never contributes to the loss
-        self.w = np.insert(self.w, gap_index + 1, 0.0)
-        self.ranks = np.insert(self.ranks, gap_index + 1, self.ranks[gap_index] + 1.0)
-        self._refresh()
+        """Insert a virtual point mid-gap after key *gap_index*.
+
+        The virtual point enters the arrays (for gap bookkeeping) with
+        weight 0, so ``W/Swt/Swtt`` are untouched; the rank-dependent
+        moments absorb exactly the suffix terms of :meth:`best_rank`'s
+        closed form, and the suffix arrays shift in place.
+        """
+        p = gap_index + 1
+        old = self._size
+        value = int((int(self._keys_buf[gap_index]) + int(self._keys_buf[p])) // 2)
+        if old + 1 > self._keys_buf.size:
+            self._grow()
+        sw, swt, swy_arr = self._suffix_w_buf, self._suffix_wt_buf, self._suffix_wy_buf
+        ws = float(sw[p])
+        wts = float(swt[p])
+        wys = float(swy_arr[p])
+        # Rank-dependent moments: every key with index >= p gains +1.
+        self.Swy += ws
+        self.Swyy += 2.0 * wys + ws
+        self.Swty += wts
+        # suffix_wy: entries at or below p gain the shifted weight mass,
+        # entries above shift right and gain their own suffix weight.
+        old_len = old + 1  # including the trailing sentinel
+        tail = swy_arr[p:old_len] + sw[p:old_len]
+        swy_arr[: p + 1] += ws
+        swy_arr[p + 1 : old_len + 1] = tail
+        # suffix_w / suffix_wt: the zero-weight point duplicates the
+        # suffix value at p (numpy handles the overlapping copy).
+        sw[p + 1 : old_len + 1] = sw[p:old_len]
+        swt[p + 1 : old_len + 1] = swt[p:old_len]
+        # point arrays
+        self._keys_buf[p + 1 : old + 1] = self._keys_buf[p:old]
+        self._keys_buf[p] = value
+        self._w_buf[p + 1 : old + 1] = self._w_buf[p:old]
+        self._w_buf[p] = 0.0
+        self._t_buf[p + 1 : old + 1] = self._t_buf[p:old]
+        self._t_buf[p] = float(value - self.pivot)
+        self._size = old + 1
         return value
 
     def model(self) -> LinearModel:

@@ -4,6 +4,12 @@ Each public function produces plain dataclass rows; the benchmark
 harness under ``benchmarks/`` formats them into the same tables/series
 the paper reports and asserts the expected *shape* (who wins, trends),
 not absolute nanoseconds (see DESIGN.md §3-4).
+
+All query profiling and batched insertion goes through the vectorised
+batch engine (:func:`repro.workloads.readonly.profile_queries` →
+``LearnedIndex.lookup_many``, :mod:`repro.workloads.readwrite` →
+``LearnedIndex.insert_many``), so experiment wall time is dominated by
+the structures themselves rather than per-key Python dispatch.
 """
 
 from __future__ import annotations

@@ -3,7 +3,7 @@ LIPP, SALI) plus classical and learned baselines."""
 
 from .adapters import AlexCsvAdapter, LippCsvAdapter, SaliCsvAdapter, adapter_for
 from .alex import AlexDataNode, AlexIndex, AlexInnerNode
-from .base import LearnedIndex, QueryStats
+from .base import BatchQueryStats, LearnedIndex, QueryStats
 from .btree import BPlusTree
 from .lipp import LippIndex, LippNode
 from .pgm import PGMIndex, PlaSegment, build_pla_segments
@@ -29,6 +29,7 @@ __all__ = [
     "AlexIndex",
     "AlexInnerNode",
     "BPlusTree",
+    "BatchQueryStats",
     "FlattenedNode",
     "INDEX_FAMILIES",
     "LearnedIndex",

@@ -150,15 +150,12 @@ class AlexDataNode:
         predicted = np.clip(
             np.round(model.predict_array(keys)).astype(np.int64), 0, capacity - 1
         )
-        # Enforce strict monotonicity with a cumulative sweep.
-        positions = np.maximum(predicted, 0)
-        last = -1
-        for i in range(positions.size):
-            pos = int(positions[i])
-            if pos <= last:
-                pos = last + 1
-            positions[i] = pos
-            last = pos
+        # Strict monotonicity, vectorised: the sweep's fixpoint is
+        # pos_i = max_{j<=i}(predicted_j + (i - j)), i.e. a running
+        # maximum of ``predicted - index`` added back onto the index.
+        idx = np.arange(predicted.size, dtype=np.int64)
+        positions = np.maximum.accumulate(predicted - idx) + idx
+        last = int(positions[-1]) if positions.size else -1
         if last >= capacity:
             capacity = last + 1
         node = cls(capacity, model, level)
@@ -226,6 +223,33 @@ class AlexDataNode:
             slot += 1
             steps += 1
         return False, None, steps
+
+    def lookup_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`lookup` over a query array.
+
+        Returns ``(found, values, search_steps)`` parallel to *keys*.
+        The gapped-array invariant (gap slots repeat the key of the
+        next occupied slot to their right) guarantees that a present
+        key's occupied slot is the *last* slot of its equal run, so the
+        per-slot walk of the scalar path collapses to one
+        ``side='right'`` search; the walk's step charges are recovered
+        from the run length.
+        """
+        m = int(keys.size)
+        cap = self.capacity
+        predicted = np.clip(
+            np.rint(self.model.predict_array(keys)).astype(np.int64), 0, cap - 1
+        )
+        first = np.searchsorted(self.slot_keys, keys, side="left")
+        steps = 1 + np.ceil(np.log2(np.abs(first - predicted) + 2)).astype(np.int64)
+        last = np.searchsorted(self.slot_keys, keys, side="right") - 1
+        safe_last = np.clip(last, 0, cap - 1)
+        found = (last >= first) & self.occupied[safe_last] & (self.slot_keys[safe_last] == keys)
+        values = np.zeros(m, dtype=np.int64)
+        values[found] = self.slot_values[safe_last[found]]
+        # The scalar walk steps once per gap slot it crosses.
+        steps += np.where(found, last - first, 0)
+        return found, values, steps
 
     def expected_search_steps(self) -> float:
         """Average exponential-search steps for this node's layout.

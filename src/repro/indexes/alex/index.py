@@ -26,8 +26,10 @@ from ..base import (
     NODE_HEADER_BYTES,
     POINTER_BYTES,
     VALUE_BYTES,
+    BatchQueryStats,
     LearnedIndex,
     QueryStats,
+    _as_query_array,
     prepare_key_values,
 )
 from .data_node import AlexDataNode, InsertStatus, TARGET_DENSITY
@@ -136,6 +138,46 @@ class AlexIndex(LearnedIndex):
         node, levels = self._descend(key)
         found, value, steps = node.lookup(key)
         return QueryStats(key=key, found=found, value=value, levels=levels, search_steps=steps)
+
+    def lookup_many(self, keys) -> BatchQueryStats:
+        """Batched lookups via a grouped root-to-leaf frontier sweep.
+
+        Each inner node routes its whole query group with one
+        vectorised model evaluation; each data node answers its group
+        with :meth:`AlexDataNode.lookup_batch`.  Results are scattered
+        back into query order and match :meth:`lookup_stats` exactly.
+        """
+        q = _as_query_array(keys)
+        m = q.size
+        found = np.zeros(m, dtype=bool)
+        values = np.zeros(m, dtype=np.int64)
+        levels = np.zeros(m, dtype=np.int64)
+        steps = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return BatchQueryStats(keys=q, found=found, values=values, levels=levels, search_steps=steps)
+        frontier: list[tuple[AlexNode, np.ndarray, int]] = [(self._root, np.arange(m), 1)]
+        while frontier:
+            node, idx, depth = frontier.pop()
+            if isinstance(node, AlexInnerNode):
+                slots = np.clip(
+                    np.rint(node.model.predict_array(q[idx])).astype(np.int64),
+                    0,
+                    node.fanout - 1,
+                )
+                order = np.argsort(slots, kind="stable")
+                run_starts = np.nonzero(np.diff(slots[order]))[0] + 1
+                for group in np.split(order, run_starts):
+                    child = node.children[int(slots[group[0]])]
+                    assert child is not None, "bulk loader must populate every slot"
+                    frontier.append((child, idx[group], depth + 1))
+                continue
+            assert isinstance(node, AlexDataNode)
+            node_found, node_values, node_steps = node.lookup_batch(q[idx])
+            found[idx] = node_found
+            values[idx] = node_values
+            steps[idx] = node_steps
+            levels[idx] = depth
+        return BatchQueryStats(keys=q, found=found, values=values, levels=levels, search_steps=steps)
 
     # ------------------------------------------------------------------
     # Updates

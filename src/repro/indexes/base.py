@@ -8,13 +8,29 @@ prediction is inexact.  Every index here therefore reports a
 cost-model timer (:class:`repro.core.cost_model.CostConstants`)
 derives a simulated latency.  This is the substitution for the paper's
 wall-clock nanoseconds (see DESIGN.md §3).
+
+Batch query engine
+------------------
+
+Workload drivers never loop over keys in Python: they call
+:meth:`LearnedIndex.lookup_many` / :meth:`LearnedIndex.insert_many`
+and receive a :class:`BatchQueryStats` — a struct-of-arrays mirror of
+:class:`QueryStats` whose aggregation (hit rate, average levels/steps,
+simulated nanoseconds) is pure numpy.  Every backend overrides
+``lookup_many`` with a vectorised implementation (model predictions,
+``searchsorted`` probes and step accounting as array ops); the base
+class supplies a per-key fallback with identical semantics, so a new
+backend is correct before it is fast.  Batch results are positionally
+parallel to the query array and bit-identical to the per-key loop —
+``tests/indexes/test_batch_api.py`` asserts exact parity for every
+backend.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -22,7 +38,7 @@ from ..core.cost_model import CostConstants
 from ..core.exceptions import IndexStateError, KeyNotFoundError
 from ..core.segment_stats import validate_keys
 
-__all__ = ["QueryStats", "LearnedIndex", "prepare_key_values"]
+__all__ = ["QueryStats", "BatchQueryStats", "LearnedIndex", "prepare_key_values"]
 
 #: Bytes charged per stored key / value / pointer in the size model.
 KEY_BYTES = 8
@@ -54,6 +70,81 @@ class QueryStats:
         """Deterministic latency under the cost model (see module doc)."""
         consts = constants or CostConstants()
         return consts.query_ns(self.levels, self.search_steps)
+
+
+@dataclass(frozen=True)
+class BatchQueryStats:
+    """Cost breakdown of a lookup batch, as parallel arrays.
+
+    The struct-of-arrays counterpart of :class:`QueryStats`: entry
+    ``i`` of every array describes the lookup of ``keys[i]``, in the
+    caller's query order.  ``values[i]`` is meaningful only where
+    ``found[i]`` is True (misses store 0).
+    """
+
+    keys: np.ndarray          # int64, the queried keys
+    found: np.ndarray         # bool
+    values: np.ndarray        # int64 (0 where not found)
+    levels: np.ndarray        # int64, nodes traversed (root hit = 1)
+    search_steps: np.ndarray  # int64, in-node probes
+
+    def __post_init__(self) -> None:
+        n = self.keys.size
+        for name in ("found", "values", "levels", "search_steps"):
+            if getattr(self, name).size != n:
+                raise IndexStateError(f"BatchQueryStats.{name} must parallel keys")
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.keys.size)
+
+    def __len__(self) -> int:
+        return self.n_queries
+
+    @property
+    def hit_rate(self) -> float:
+        return float(np.mean(self.found)) if self.keys.size else 0.0
+
+    def simulated_ns(self, constants: CostConstants | None = None) -> np.ndarray:
+        """Per-query deterministic latencies under the cost model."""
+        consts = constants or CostConstants()
+        return consts.query_ns_batch(self.levels, self.search_steps)
+
+    def stat(self, i: int) -> QueryStats:
+        """The *i*-th lookup as a scalar :class:`QueryStats`."""
+        found = bool(self.found[i])
+        return QueryStats(
+            key=int(self.keys[i]),
+            found=found,
+            value=int(self.values[i]) if found else None,
+            levels=int(self.levels[i]),
+            search_steps=int(self.search_steps[i]),
+        )
+
+    def to_list(self) -> list[QueryStats]:
+        """Scalar :class:`QueryStats` objects, in query order."""
+        return [self.stat(i) for i in range(self.n_queries)]
+
+    @classmethod
+    def from_query_stats(cls, stats: Sequence[QueryStats]) -> "BatchQueryStats":
+        """Pack scalar lookups into the array form."""
+        return cls(
+            keys=np.asarray([s.key for s in stats], dtype=np.int64),
+            found=np.asarray([s.found for s in stats], dtype=bool),
+            values=np.asarray(
+                [s.value if s.value is not None else 0 for s in stats], dtype=np.int64
+            ),
+            levels=np.asarray([s.levels for s in stats], dtype=np.int64),
+            search_steps=np.asarray([s.search_steps for s in stats], dtype=np.int64),
+        )
+
+
+def _as_query_array(keys: np.ndarray | list) -> np.ndarray:
+    """Normalise a query batch to a contiguous int64 array."""
+    arr = np.asarray(keys)
+    if arr.ndim != 1:
+        raise IndexStateError("query keys must be one-dimensional")
+    return np.ascontiguousarray(arr, dtype=np.int64)
 
 
 def prepare_key_values(
@@ -151,6 +242,45 @@ class LearnedIndex(ABC):
         """Yield every stored key in ascending order."""
 
     # ------------------------------------------------------------------
+    # Batch queries and updates (the workload drivers' entry points)
+    # ------------------------------------------------------------------
+    def lookup_many(self, keys: np.ndarray | list) -> BatchQueryStats:
+        """Batched point lookups with full cost accounting.
+
+        Returns one :class:`BatchQueryStats` positionally parallel to
+        *keys*.  This generic implementation loops over
+        :meth:`lookup_stats`; every concrete backend overrides it with
+        a vectorised version whose results are exactly identical.
+        """
+        arr = _as_query_array(keys)
+        return BatchQueryStats.from_query_stats(
+            [self.lookup_stats(int(k)) for k in arr]
+        )
+
+    def insert_many(
+        self,
+        keys: np.ndarray | list,
+        values: np.ndarray | list | None = None,
+    ) -> None:
+        """Insert a batch of keys (values default to the keys).
+
+        Semantically equivalent to calling :meth:`insert` per key in
+        batch order (duplicates within the batch: last value wins).
+        Backends whose layout allows it override this with a vectorised
+        implementation; structural indexes keep the per-key loop but
+        hide it behind this entry point so drivers stay loop-free.
+        """
+        arr = np.asarray(keys)
+        if values is None:
+            vals = arr
+        else:
+            vals = np.asarray(values)
+            if vals.shape != arr.shape:
+                raise IndexStateError("values must parallel keys")
+        for key, value in zip(arr.tolist(), vals.tolist()):
+            self.insert(int(key), int(value))
+
+    # ------------------------------------------------------------------
     # Convenience batch helpers used by the evaluation harness
     # ------------------------------------------------------------------
     def key_levels(self, keys: np.ndarray) -> np.ndarray:
@@ -158,8 +288,12 @@ class LearnedIndex(ABC):
         return np.asarray([self.key_level(int(k)) for k in keys], dtype=np.int64)
 
     def batch_stats(self, keys: np.ndarray) -> list[QueryStats]:
-        """:meth:`lookup_stats` over *keys* (order preserved)."""
-        return [self.lookup_stats(int(k)) for k in keys]
+        """:meth:`lookup_stats` over *keys* (order preserved).
+
+        Kept for API compatibility; routed through the vectorised
+        :meth:`lookup_many`.
+        """
+        return self.lookup_many(keys).to_list()
 
     def verify_against(self, keys: np.ndarray, values: np.ndarray) -> None:
         """Assert every (key, value) pair is retrievable — test helper."""

@@ -20,8 +20,10 @@ from .base import (
     NODE_HEADER_BYTES,
     POINTER_BYTES,
     VALUE_BYTES,
+    BatchQueryStats,
     LearnedIndex,
     QueryStats,
+    _as_query_array,
     prepare_key_values,
 )
 
@@ -69,13 +71,20 @@ class BPlusTree(LearnedIndex):
         return tree
 
     def _bulk_load(self, keys: np.ndarray, values: np.ndarray) -> None:
-        """Pack leaves to ~70% fill and build inner levels bottom-up."""
+        """Pack leaves to ~70% fill and build inner levels bottom-up.
+
+        Node-local ``keys``/``values`` stay Python lists (inserts splice
+        into them), but they are built from sliced-array ``tolist()``
+        conversions rather than per-element comprehensions.
+        """
         per_leaf = max(2, int(self._order * 0.7))
         leaves: list[_Leaf] = []
-        for start in range(0, keys.size, per_leaf):
+        key_chunks = [keys[start:start + per_leaf] for start in range(0, keys.size, per_leaf)]
+        value_chunks = [values[start:start + per_leaf] for start in range(0, values.size, per_leaf)]
+        for key_chunk, value_chunk in zip(key_chunks, value_chunks):
             leaf = _Leaf()
-            leaf.keys = [int(k) for k in keys[start:start + per_leaf]]
-            leaf.values = [int(v) for v in values[start:start + per_leaf]]
+            leaf.keys = key_chunk.tolist()
+            leaf.values = value_chunk.tolist()
             if leaves:
                 leaves[-1].next = leaf
             leaves.append(leaf)
@@ -92,7 +101,7 @@ class BPlusTree(LearnedIndex):
                 group = level[start:start + per_inner]
                 node = _Inner()
                 node.children = list(group)
-                node.keys = [first_keys[start + i] for i in range(1, len(group))]
+                node.keys = first_keys[start + 1 : start + len(group)]
                 parents.append(node)
                 parent_first_keys.append(first_keys[start])
             level = parents
@@ -124,6 +133,56 @@ class BPlusTree(LearnedIndex):
         if pos < len(leaf.keys) and leaf.keys[pos] == key:
             return QueryStats(key=key, found=True, value=leaf.values[pos], levels=levels, search_steps=steps)
         return QueryStats(key=key, found=False, value=None, levels=levels, search_steps=steps)
+
+    @staticmethod
+    def _node_search_steps(n_keys: int) -> int:
+        """Binary-search probe charge inside one node."""
+        return max(1, int(np.ceil(np.log2(n_keys + 1)))) if n_keys else 1
+
+    def lookup_many(self, keys) -> BatchQueryStats:
+        """Batched lookups via one root-to-leaf frontier sweep.
+
+        Queries descend level by level as groups: each visited node
+        routes its whole query group with a single ``np.searchsorted``
+        over its separator keys, so the per-key Python work collapses
+        to one dictionary of (node → query indices) per level.  Step
+        and level accounting matches :meth:`lookup_stats` exactly.
+        """
+        q = _as_query_array(keys)
+        m = q.size
+        found = np.zeros(m, dtype=bool)
+        values = np.zeros(m, dtype=np.int64)
+        levels = np.zeros(m, dtype=np.int64)
+        steps = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return BatchQueryStats(keys=q, found=found, values=values, levels=levels, search_steps=steps)
+        frontier: list[tuple[object, np.ndarray, int]] = [(self._root, np.arange(m), 1)]
+        while frontier:
+            node, idx, depth = frontier.pop()
+            if isinstance(node, _Inner):
+                node_keys = np.asarray(node.keys, dtype=np.int64)
+                steps[idx] += self._node_search_steps(len(node.keys))
+                child_idx = np.searchsorted(node_keys, q[idx], side="right")
+                order = np.argsort(child_idx, kind="stable")
+                run_starts = np.nonzero(np.diff(child_idx[order]))[0] + 1
+                for group in np.split(order, run_starts):
+                    child = node.children[int(child_idx[group[0]])]
+                    frontier.append((child, idx[group], depth + 1))
+                continue
+            assert isinstance(node, _Leaf)
+            levels[idx] = depth
+            steps[idx] += self._node_search_steps(len(node.keys))
+            leaf_keys = np.asarray(node.keys, dtype=np.int64)
+            pos = np.searchsorted(leaf_keys, q[idx], side="left")
+            in_leaf = pos < leaf_keys.size
+            hit = np.zeros(idx.size, dtype=bool)
+            hit[in_leaf] = leaf_keys[pos[in_leaf]] == q[idx][in_leaf]
+            hit_idx = idx[hit]
+            found[hit_idx] = True
+            if hit_idx.size:
+                leaf_values = np.asarray(node.values, dtype=np.int64)
+                values[hit_idx] = leaf_values[pos[hit]]
+        return BatchQueryStats(keys=q, found=found, values=values, levels=levels, search_steps=steps)
 
     # ------------------------------------------------------------------
     def insert(self, key: int, value: int) -> None:

@@ -19,8 +19,10 @@ from ..base import (
     NODE_HEADER_BYTES,
     POINTER_BYTES,
     VALUE_BYTES,
+    BatchQueryStats,
     LearnedIndex,
     QueryStats,
+    _as_query_array,
     prepare_key_values,
 )
 from .node import DEFAULT_SLOT_FACTOR, SLOT_CHILD, SLOT_DATA, SLOT_EMPTY, LippNode
@@ -29,6 +31,11 @@ __all__ = ["LippIndex"]
 
 #: Bytes per slot: 1 type byte + key + value/pointer union.
 SLOT_BYTES = 1 + KEY_BYTES + VALUE_BYTES
+
+#: Query groups at or below this size descend scalar-style inside
+#: :meth:`LippIndex.lookup_many` — conflict subtrees are tiny, and a
+#: handful of Python ops beats a dozen numpy dispatches on 2-3 keys.
+SMALL_GROUP = 4
 
 
 class LippIndex(LearnedIndex):
@@ -66,8 +73,11 @@ class LippIndex(LearnedIndex):
 
         Returns ``(node, slot, levels)``.
         """
-        node = self._root
-        levels = 1
+        return self._descend_from(self._root, key, 1)
+
+    @staticmethod
+    def _descend_from(node: LippNode, key: int, levels: int) -> tuple[LippNode, int, int]:
+        """:meth:`_descend` starting at an arbitrary (node, depth)."""
         while True:
             slot = node.slot_of(key)
             if int(node.slot_type[slot]) == SLOT_CHILD:
@@ -89,6 +99,107 @@ class LippIndex(LearnedIndex):
                 search_steps=0,
             )
         return QueryStats(key=key, found=False, value=None, levels=levels, search_steps=0)
+
+    def lookup_many(self, keys) -> BatchQueryStats:
+        """Batched precise-position lookups.
+
+        One vectorised model evaluation per visited node routes the
+        whole query group; terminal slots are resolved with array
+        compares.  LIPP lookups have no search component, so
+        ``search_steps`` is all zeros, exactly as in
+        :meth:`lookup_stats`.
+        """
+        q = _as_query_array(keys)
+        m = q.size
+        found = np.zeros(m, dtype=bool)
+        values = np.zeros(m, dtype=np.int64)
+        levels = np.zeros(m, dtype=np.int64)
+        steps = np.zeros(m, dtype=np.int64)
+        if m:
+            self._batch_descend(q, found, values, levels, steps, track=False)
+        return BatchQueryStats(keys=q, found=found, values=values, levels=levels, search_steps=steps)
+
+    def _batch_descend(
+        self,
+        q: np.ndarray,
+        found: np.ndarray,
+        values: np.ndarray,
+        levels: np.ndarray,
+        steps: np.ndarray,
+        track: bool,
+    ) -> None:
+        """Grouped frontier sweep shared by LIPP and SALI.
+
+        Scatters results into the caller's output arrays.  With
+        ``track`` set, every node on each query's path has its
+        ``access_count`` credited (aggregate-equivalent to SALI's
+        per-query ``record_path``).  Leaves that are not
+        :class:`LippNode` (SALI's flattened subtrees) are answered via
+        their ``lookup``/``lookup_batch`` duck-type interface.
+        """
+        frontier: list[tuple[object, np.ndarray, int]] = [(self._root, np.arange(q.size), 1)]
+        while frontier:
+            node, idx, depth = frontier.pop()
+            if idx.size <= SMALL_GROUP:
+                # Tiny conflict subtrees: scalar descent beats numpy
+                # dispatch on 2-3 keys.
+                for j in idx.tolist():
+                    key = int(q[j])
+                    sub, lvl = node, depth
+                    while True:
+                        if track:
+                            sub.access_count += 1
+                        if not isinstance(sub, LippNode):
+                            f, v, s = sub.lookup(key)
+                            found[j] = f
+                            if f:
+                                values[j] = v
+                            steps[j] = s
+                            levels[j] = lvl
+                            break
+                        slot = sub.slot_of(key)
+                        kind = int(sub.slot_type[slot])
+                        if kind == SLOT_CHILD:
+                            sub = sub.children[slot]
+                            lvl += 1
+                            continue
+                        levels[j] = lvl
+                        if kind == SLOT_DATA and int(sub.slot_keys[slot]) == key:
+                            found[j] = True
+                            values[j] = sub.slot_values[slot]
+                        break
+                continue
+            if track:
+                node.access_count += int(idx.size)
+            if not isinstance(node, LippNode):
+                node_found, node_values, node_steps = node.lookup_batch(q[idx])
+                found[idx] = node_found
+                values[idx] = node_values
+                steps[idx] = node_steps
+                levels[idx] = depth
+                continue
+            slots = np.clip(
+                np.rint(node.model.predict_array(q[idx])).astype(np.int64), 0, node.m - 1
+            )
+            kinds = node.slot_type[slots]
+            terminal = kinds != SLOT_CHILD
+            if np.any(terminal):
+                t_idx = idx[terminal]
+                t_slots = slots[terminal]
+                levels[t_idx] = depth
+                hit = (kinds[terminal] == SLOT_DATA) & (node.slot_keys[t_slots] == q[t_idx])
+                hit_idx = t_idx[hit]
+                found[hit_idx] = True
+                values[hit_idx] = node.slot_values[t_slots[hit]]
+            child_mask = ~terminal
+            if np.any(child_mask):
+                c_idx = idx[child_mask]
+                c_slots = slots[child_mask]
+                order = np.argsort(c_slots, kind="stable")
+                run_starts = np.nonzero(np.diff(c_slots[order]))[0] + 1
+                for group in np.split(order, run_starts):
+                    child = node.children[int(c_slots[group[0]])]
+                    frontier.append((child, c_idx[group], depth + 1))
 
     def insert(self, key: int, value: int) -> None:
         """Insert one entry; conflicts may create a child or trigger a

@@ -25,8 +25,10 @@ from .base import (
     KEY_BYTES,
     NODE_HEADER_BYTES,
     VALUE_BYTES,
+    BatchQueryStats,
     LearnedIndex,
     QueryStats,
+    _as_query_array,
     prepare_key_values,
 )
 
@@ -123,6 +125,19 @@ class PGMIndex(LearnedIndex):
             if len(segments) <= 1:
                 break
             current = np.asarray([s.first_key for s in segments], dtype=np.int64)
+        # Struct-of-arrays view of each level's segments for the
+        # vectorised batch descent (first_key, slope, intercept,
+        # first_pos, last_pos parallel arrays).
+        self._level_params = [
+            (
+                np.asarray([s.first_key for s in segs], dtype=np.int64),
+                np.asarray([s.slope for s in segs], dtype=np.float64),
+                np.asarray([s.intercept for s in segs], dtype=np.float64),
+                np.asarray([s.first_pos for s in segs], dtype=np.int64),
+                np.asarray([s.last_pos for s in segs], dtype=np.int64),
+            )
+            for segs in self._levels
+        ]
 
     @classmethod
     def build(cls, keys, values=None, epsilon: int = 16) -> "PGMIndex":
@@ -162,6 +177,45 @@ class PGMIndex(LearnedIndex):
             # Segment first positions at level-1 are indexed by this
             # level's keys one-to-one.
             seg = child_segments[seg_idx]
+        raise AssertionError("unreachable")
+
+    def lookup_many(self, keys) -> BatchQueryStats:
+        """Vectorised batch descent of the segment hierarchy.
+
+        Every level costs four array ops for the whole batch: gather
+        the per-query segment parameters, predict, clamp the ε-window,
+        and one full-array ``searchsorted`` whose result is clipped
+        into the window (equivalent to the scalar bounded bisect, since
+        the level keys are globally sorted).
+        """
+        q = _as_query_array(keys)
+        m = q.size
+        steps = np.zeros(m, dtype=np.int64)
+        seg_idx = np.zeros(m, dtype=np.int64)  # top level has one segment
+        top = len(self._levels) - 1
+        for level in range(top, -1, -1):
+            first_key, slope, intercept, first_pos, last_pos = self._level_params[level]
+            level_keys = self._level_keys[level]
+            delta = (q - first_key[seg_idx]).astype(np.float64)
+            predicted = np.rint(slope[seg_idx] * delta + intercept[seg_idx]).astype(np.int64)
+            predicted = np.clip(predicted, first_pos[seg_idx], last_pos[seg_idx])
+            lo = np.maximum(predicted - self._epsilon, 0)
+            hi = np.minimum(predicted + self._epsilon + 1, int(level_keys.size))
+            pos = np.clip(np.searchsorted(level_keys, q, side="right"), lo, hi) - 1
+            steps += np.maximum(1, np.ceil(np.log2(hi - lo + 1)).astype(np.int64))
+            pos = np.maximum(pos, 0)
+            if level == 0:
+                n = int(self._keys.size)
+                found = np.zeros(m, dtype=bool)
+                in_range = pos < n
+                found[in_range] = self._keys[pos[in_range]] == q[in_range]
+                values = np.zeros(m, dtype=np.int64)
+                values[found] = self._values[pos[found]]
+                levels_used = np.full(m, len(self._levels), dtype=np.int64)
+                return BatchQueryStats(
+                    keys=q, found=found, values=values, levels=levels_used, search_steps=steps
+                )
+            seg_idx = np.minimum(pos, len(self._levels[level - 1]) - 1)
         raise AssertionError("unreachable")
 
     @property

@@ -21,8 +21,10 @@ from .base import (
     KEY_BYTES,
     NODE_HEADER_BYTES,
     VALUE_BYTES,
+    BatchQueryStats,
     LearnedIndex,
     QueryStats,
+    _as_query_array,
     prepare_key_values,
 )
 
@@ -66,6 +68,12 @@ class RMIIndex(LearnedIndex):
             self._stages.append(
                 _SecondStage(model=model, min_err=int(err.min()), max_err=int(err.max()))
             )
+        # Struct-of-arrays mirror of the stages for the batch path.
+        self._stage_slope = np.asarray([s.model.slope for s in self._stages])
+        self._stage_intercept = np.asarray([s.model.intercept for s in self._stages])
+        self._stage_pivot = np.asarray([s.model.pivot for s in self._stages], dtype=np.int64)
+        self._stage_min_err = np.asarray([s.min_err for s in self._stages], dtype=np.int64)
+        self._stage_max_err = np.asarray([s.max_err for s in self._stages], dtype=np.int64)
 
     @classmethod
     def build(cls, keys, values=None, branching: int | None = None) -> "RMIIndex":
@@ -93,6 +101,38 @@ class RMIIndex(LearnedIndex):
         found = pos < n and int(keys_list[pos]) == key
         value = int(self._values[pos]) if found else None
         return QueryStats(key=key, found=found, value=value, levels=2, search_steps=steps)
+
+    def lookup_many(self, keys) -> BatchQueryStats:
+        """Vectorised batch lookup: root routing, per-stage predictions
+        and the error-bounded binary search as pure array ops."""
+        q = _as_query_array(keys)
+        m = q.size
+        n = int(self._keys.size)
+        root_pred = np.rint(self._root.predict_array(q)).astype(np.int64)
+        stage = np.clip(root_pred, 0, self._branching - 1)
+        delta = (q - self._stage_pivot[stage]).astype(np.float64)
+        predicted = np.rint(
+            self._stage_slope[stage] * delta + self._stage_intercept[stage]
+        ).astype(np.int64)
+        lo = np.clip(predicted - self._stage_max_err[stage], 0, n)
+        hi = np.clip(predicted - self._stage_min_err[stage] + 1, 0, n)
+        degenerate = lo >= hi
+        lo[degenerate] = 0
+        hi[degenerate] = n
+        pos = np.clip(np.searchsorted(self._keys, q, side="left"), lo, hi)
+        steps = np.maximum(1, np.ceil(np.log2(hi - lo + 1)).astype(np.int64))
+        found = np.zeros(m, dtype=bool)
+        in_range = pos < n
+        found[in_range] = self._keys[pos[in_range]] == q[in_range]
+        values = np.zeros(m, dtype=np.int64)
+        values[found] = self._values[pos[found]]
+        return BatchQueryStats(
+            keys=q,
+            found=found,
+            values=values,
+            levels=np.full(m, 2, dtype=np.int64),
+            search_steps=steps,
+        )
 
     @property
     def n_keys(self) -> int:

@@ -36,6 +36,11 @@ class FlattenedNode:
         "values",
         "segments",
         "segment_first_keys",
+        "_seg_first_key",
+        "_seg_slope",
+        "_seg_intercept",
+        "_seg_first_pos",
+        "_seg_last_pos",
         "epsilon",
         "level",
         "parent",
@@ -65,6 +70,12 @@ class FlattenedNode:
     def _rebuild_segments(self) -> None:
         self.segments = build_pla_segments(self.keys, self.epsilon)
         self.segment_first_keys = [seg.first_key for seg in self.segments]
+        # Struct-of-arrays mirror for the vectorised batch lookup.
+        self._seg_first_key = np.asarray(self.segment_first_keys, dtype=np.int64)
+        self._seg_slope = np.asarray([s.slope for s in self.segments])
+        self._seg_intercept = np.asarray([s.intercept for s in self.segments])
+        self._seg_first_pos = np.asarray([s.first_pos for s in self.segments], dtype=np.int64)
+        self._seg_last_pos = np.asarray([s.last_pos for s in self.segments], dtype=np.int64)
 
     # ------------------------------------------------------------------
     @property
@@ -95,6 +106,35 @@ class FlattenedNode:
         if pos < self.keys.size and int(self.keys[pos]) == key:
             return True, int(self.values[pos]), steps
         return False, None, steps
+
+    def lookup_batch(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`lookup` over a query array.
+
+        Returns ``(found, values, search_steps)`` parallel to
+        *queries*; segment routing, prediction and the ε-bounded search
+        are all array ops (the bounded bisect is a full-array
+        ``searchsorted`` clipped into the window, valid because the
+        keys are globally sorted).
+        """
+        q = np.asarray(queries, dtype=np.int64)
+        m = int(q.size)
+        seg_idx = np.maximum(np.searchsorted(self._seg_first_key, q, side="right") - 1, 0)
+        seg_steps = max(1, int(np.ceil(np.log2(len(self.segments) + 1))))
+        delta = (q - self._seg_first_key[seg_idx]).astype(np.float64)
+        predicted = np.rint(
+            self._seg_slope[seg_idx] * delta + self._seg_intercept[seg_idx]
+        ).astype(np.int64)
+        predicted = np.clip(predicted, self._seg_first_pos[seg_idx], self._seg_last_pos[seg_idx])
+        lo = np.maximum(predicted - self.epsilon, 0)
+        hi = np.minimum(predicted + self.epsilon + 1, int(self.keys.size))
+        pos = np.clip(np.searchsorted(self.keys, q, side="left"), lo, hi)
+        steps = seg_steps + np.maximum(1, np.ceil(np.log2(hi - lo + 1)).astype(np.int64))
+        found = np.zeros(m, dtype=bool)
+        in_range = pos < self.keys.size
+        found[in_range] = self.keys[pos[in_range]] == q[in_range]
+        values = np.zeros(m, dtype=np.int64)
+        values[found] = self.values[pos[found]]
+        return found, values, steps
 
     def insert(self, key: int, value: int) -> None:
         """Insert (rare path: flattening targets read-hot subtrees)."""

@@ -15,7 +15,15 @@ from typing import Iterator
 import numpy as np
 
 from ...core.exceptions import IndexStateError
-from ..base import KEY_BYTES, NODE_HEADER_BYTES, POINTER_BYTES, VALUE_BYTES, QueryStats
+from ..base import (
+    KEY_BYTES,
+    NODE_HEADER_BYTES,
+    POINTER_BYTES,
+    VALUE_BYTES,
+    BatchQueryStats,
+    QueryStats,
+    _as_query_array,
+)
 from ..lipp.index import SLOT_BYTES, LippIndex
 from ..lipp.node import DEFAULT_SLOT_FACTOR, SLOT_CHILD, SLOT_DATA, LippNode
 from .flatten import DEFAULT_EPSILON, FlattenedNode
@@ -74,6 +82,28 @@ class SaliIndex(LippIndex):
                     levels=levels, search_steps=0,
                 )
             return QueryStats(key=key, found=False, value=None, levels=levels, search_steps=0)
+
+    def lookup_many(self, keys) -> BatchQueryStats:
+        """Batched lookups with workload tracking.
+
+        Reuses LIPP's grouped frontier sweep
+        (:meth:`~repro.indexes.lipp.index.LippIndex._batch_descend`)
+        with tracking enabled: every visited node's ``access_count``
+        is credited per query passing through it
+        (aggregate-equivalent to per-query ``record_path``), and
+        flattened subtrees answer their groups via
+        :meth:`~repro.indexes.sali.flatten.FlattenedNode.lookup_batch`.
+        """
+        q = _as_query_array(keys)
+        m = q.size
+        found = np.zeros(m, dtype=bool)
+        values = np.zeros(m, dtype=np.int64)
+        levels = np.zeros(m, dtype=np.int64)
+        steps = np.zeros(m, dtype=np.int64)
+        if m:
+            self.tracker.total_queries += m
+            self._batch_descend(q, found, values, levels, steps, track=True)
+        return BatchQueryStats(keys=q, found=found, values=values, levels=levels, search_steps=steps)
 
     def key_level(self, key: int) -> int:
         key = int(key)

@@ -15,8 +15,10 @@ from .base import (
     KEY_BYTES,
     NODE_HEADER_BYTES,
     VALUE_BYTES,
+    BatchQueryStats,
     LearnedIndex,
     QueryStats,
+    _as_query_array,
     prepare_key_values,
 )
 
@@ -31,6 +33,9 @@ class SortedArrayIndex(LearnedIndex):
     def __init__(self, keys: np.ndarray, values: np.ndarray):
         self._keys = keys
         self._values = values
+        #: Lazily built probe-count tables for the batch path
+        #: (invalidated whenever the array changes size).
+        self._probe_tables: tuple[np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def build(cls, keys, values=None) -> "SortedArrayIndex":
@@ -44,6 +49,44 @@ class SortedArrayIndex(LearnedIndex):
             return
         self._keys = np.insert(self._keys, pos, key)
         self._values = np.insert(self._values, pos, value)
+        self._probe_tables = None
+
+    def insert_many(self, keys, values=None) -> None:
+        """Vectorised bulk insert: one merged reallocation per batch.
+
+        Equivalent to per-key :meth:`insert` in batch order — existing
+        keys are updated in place, new keys are spliced in with a
+        single ``np.insert`` (duplicates within the batch: last value
+        wins, as in the sequential loop).
+        """
+        arr = _as_query_array(keys)
+        if values is None:
+            vals = arr
+        else:
+            vals = np.ascontiguousarray(np.asarray(values), dtype=np.int64)
+            if vals.shape != arr.shape:
+                raise ValueError("values must parallel keys")
+        if arr.size == 0:
+            return
+        # Stable sort: within equal keys, the LAST input occurrence
+        # ends each run and must win (sequential-loop semantics).
+        order = np.argsort(arr, kind="stable")
+        sorted_keys = arr[order]
+        sorted_vals = vals[order]
+        last_of_run = np.ones(sorted_keys.size, dtype=bool)
+        last_of_run[:-1] = sorted_keys[:-1] != sorted_keys[1:]
+        unique_keys = sorted_keys[last_of_run]
+        unique_vals = sorted_vals[last_of_run]
+        pos = np.searchsorted(self._keys, unique_keys)
+        in_range = pos < self._keys.size
+        present = np.zeros(unique_keys.size, dtype=bool)
+        present[in_range] = self._keys[pos[in_range]] == unique_keys[in_range]
+        self._values[pos[present]] = unique_vals[present]
+        fresh = ~present
+        if np.any(fresh):
+            self._keys = np.insert(self._keys, pos[fresh], unique_keys[fresh])
+            self._values = np.insert(self._values, pos[fresh], unique_vals[fresh])
+            self._probe_tables = None
 
     def lookup_stats(self, key: int) -> QueryStats:
         key = int(key)
@@ -65,6 +108,61 @@ class SortedArrayIndex(LearnedIndex):
             else:
                 hi = mid - 1
         return QueryStats(key=key, found=found, value=value, levels=1, search_steps=steps)
+
+    def lookup_many(self, keys) -> BatchQueryStats:
+        """Vectorised batch lookup.
+
+        Runs every query's iterative binary search in lock-step — one
+        array operation per probe round instead of one Python loop per
+        key — so the probe counts (and therefore the simulated costs)
+        are identical to :meth:`lookup_stats`.
+        """
+        q = _as_query_array(keys)
+        m = q.size
+        n = int(self._keys.size)
+        steps_hit, steps_miss = self._probe_counts()
+        pos = np.searchsorted(self._keys, q, side="left")
+        found = np.zeros(m, dtype=bool)
+        in_range = pos < n
+        found[in_range] = self._keys[pos[in_range]] == q[in_range]
+        values = np.zeros(m, dtype=np.int64)
+        values[found] = self._values[pos[found]]
+        steps = np.where(found, steps_hit[np.clip(pos, 0, max(n - 1, 0))], steps_miss[pos])
+        return BatchQueryStats(
+            keys=q,
+            found=found,
+            values=values,
+            levels=np.ones(m, dtype=np.int64),
+            search_steps=steps,
+        )
+
+    def _probe_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Probe-count tables of the iterative binary search.
+
+        The probe sequence depends only on which position a query hits
+        (or would be inserted at), never on the key values, so one
+        O(n) sweep over the implicit search tree yields ``steps_hit[p]``
+        (probes to find the key stored at ``p``) and ``steps_miss[i]``
+        (probes until ``lo > hi`` for a miss with insertion point
+        ``i``) — exactly the counts :meth:`lookup_stats` reports.
+        """
+        n = int(self._keys.size)
+        if self._probe_tables is not None and self._probe_tables[0].size == n:
+            return self._probe_tables
+        steps_hit = np.zeros(max(n, 1), dtype=np.int64)
+        steps_miss = np.zeros(n + 1, dtype=np.int64)
+        stack = [(0, n - 1, 1)]
+        while stack:
+            lo, hi, depth = stack.pop()
+            if lo > hi:
+                steps_miss[lo] = depth - 1
+                continue
+            mid = (lo + hi) >> 1
+            steps_hit[mid] = depth
+            stack.append((lo, mid - 1, depth + 1))
+            stack.append((mid + 1, hi, depth + 1))
+        self._probe_tables = (steps_hit[:n] if n else steps_hit[:0], steps_miss)
+        return self._probe_tables
 
     @property
     def n_keys(self) -> int:

@@ -1,4 +1,11 @@
-"""Read-only query execution with cost aggregation."""
+"""Read-only query execution with cost aggregation.
+
+The profiler drives the index through the batch query engine
+(:meth:`~repro.indexes.base.LearnedIndex.lookup_many`): the whole
+query array goes down in one call and the per-query cost vectors come
+back as numpy arrays, so aggregation is a handful of reductions
+instead of a Python loop over :class:`QueryStats` objects.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +15,7 @@ import numpy as np
 
 from ..core.cost_model import CostConstants
 from ..core.exceptions import InvalidKeysError
-from ..indexes.base import LearnedIndex, QueryStats
+from ..indexes.base import BatchQueryStats, LearnedIndex, QueryStats
 
 __all__ = ["QueryProfile", "profile_queries"]
 
@@ -30,21 +37,31 @@ class QueryProfile:
     total_simulated_ns: float
 
     @classmethod
-    def from_stats(
-        cls, stats: list[QueryStats], constants: CostConstants | None = None
+    def from_batch(
+        cls, batch: BatchQueryStats, constants: CostConstants | None = None
     ) -> "QueryProfile":
-        if not stats:
+        """Aggregate a :class:`BatchQueryStats` (pure array reductions)."""
+        if batch.n_queries == 0:
             raise InvalidKeysError("cannot profile an empty query batch")
         consts = constants or CostConstants()
-        ns = np.asarray([s.simulated_ns(consts) for s in stats])
+        ns = batch.simulated_ns(consts)
         return cls(
-            n_queries=len(stats),
-            hit_rate=float(np.mean([s.found for s in stats])),
-            avg_levels=float(np.mean([s.levels for s in stats])),
-            avg_search_steps=float(np.mean([s.search_steps for s in stats])),
+            n_queries=batch.n_queries,
+            hit_rate=batch.hit_rate,
+            avg_levels=float(batch.levels.mean()),
+            avg_search_steps=float(batch.search_steps.mean()),
             avg_simulated_ns=float(ns.mean()),
             total_simulated_ns=float(ns.sum()),
         )
+
+    @classmethod
+    def from_stats(
+        cls, stats: list[QueryStats], constants: CostConstants | None = None
+    ) -> "QueryProfile":
+        """Aggregate scalar :class:`QueryStats` (compatibility path)."""
+        if not stats:
+            raise InvalidKeysError("cannot profile an empty query batch")
+        return cls.from_batch(BatchQueryStats.from_query_stats(stats), constants)
 
 
 def profile_queries(
@@ -52,6 +69,10 @@ def profile_queries(
     query_keys: np.ndarray,
     constants: CostConstants | None = None,
 ) -> QueryProfile:
-    """Run *query_keys* against *index* and aggregate the costs."""
-    stats = index.batch_stats(np.asarray(query_keys))
-    return QueryProfile.from_stats(stats, constants)
+    """Run *query_keys* against *index* and aggregate the costs.
+
+    Executes the batch through :meth:`LearnedIndex.lookup_many`, so no
+    per-key Python dispatch happens on the hot path.
+    """
+    batch = index.lookup_many(np.asarray(query_keys))
+    return QueryProfile.from_batch(batch, constants)

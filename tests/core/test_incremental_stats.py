@@ -1,0 +1,119 @@
+"""Parity tests for the incremental SegmentStats commit path.
+
+The incremental commit must be indistinguishable from throwing the
+statistics away and rebuilding a fresh :class:`SegmentStats` over the
+merged point set — not approximately, but *identically*: the moments
+are maintained as exact integers, so the derived floats (and therefore
+every candidate loss, every greedy selection, every trace entry) match
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidKeysError
+from repro.core.segment_stats import SegmentStats
+from repro.core.smoothing import _best_candidate, smooth_keys
+
+
+def _free_values(points: np.ndarray, rng: np.random.Generator, count: int) -> list[int]:
+    """Sample up to *count* committable values from the open gaps."""
+    taken = set(points.tolist())
+    out: list[int] = []
+    lo, hi = int(points[0]), int(points[-1])
+    for value in rng.integers(lo + 1, hi, size=count * 8).tolist():
+        if value not in taken:
+            taken.add(value)
+            out.append(value)
+            if len(out) == count:
+                break
+    return out
+
+
+def _assert_identical(incremental: SegmentStats, rebuilt: SegmentStats) -> None:
+    assert incremental.n == rebuilt.n
+    assert np.array_equal(incremental.points, rebuilt.points)
+    assert incremental.centered_sums() == rebuilt.centered_sums()
+    assert incremental.base_loss() == rebuilt.base_loss()
+    ranks = np.arange(incremental.n + 1, dtype=np.int64)
+    assert np.array_equal(
+        incremental.suffix_key_sums(ranks), rebuilt.suffix_key_sums(ranks)
+    )
+
+
+class TestCommitMatchesRebuild:
+    @pytest.mark.parametrize("fixture_name", ["toy_keys", "small_keys", "clustered_keys"])
+    def test_commit_sequence_bitwise_identical(self, fixture_name, request, rng):
+        keys = request.getfixturevalue(fixture_name)
+        stats = SegmentStats(keys)
+        for value in _free_values(keys, rng, 40):
+            stats.commit(value)
+            rebuilt = SegmentStats(stats.points.copy())
+            _assert_identical(stats, rebuilt)
+
+    def test_candidate_losses_bitwise_identical(self, small_keys, rng):
+        stats = SegmentStats(small_keys)
+        for value in _free_values(small_keys, rng, 25):
+            stats.commit(value)
+        rebuilt = SegmentStats(stats.points.copy())
+        points = stats.points
+        lows = points[:-1] + 1
+        highs = points[1:] - 1
+        open_gaps = np.nonzero(highs >= lows)[0]
+        values = lows[open_gaps]
+        ranks = open_gaps + 1
+        assert np.array_equal(
+            stats.evaluate_many(values, ranks), rebuilt.evaluate_many(values, ranks)
+        )
+
+    def test_huge_magnitude_keys_fall_back_consistently(self):
+        """Spans too wide for exact int64 prefixes degrade to the float
+        path — which recomputes per commit and stays rebuild-identical."""
+        keys = np.array([0, 2**61, 2**62, 2**62 + 10_000], dtype=np.int64)
+        stats = SegmentStats(keys)
+        stats.commit(12345)
+        stats.commit(2**61 + 999)
+        rebuilt = SegmentStats(stats.points.copy())
+        _assert_identical(stats, rebuilt)
+
+    def test_buffer_growth_preserves_points(self, toy_keys, rng):
+        stats = SegmentStats(toy_keys)
+        committed = _free_values(toy_keys, rng, 12)
+        for value in committed:
+            stats.commit(value)
+        expected = sorted(toy_keys.tolist() + committed)
+        assert stats.points.tolist() == expected
+
+    def test_commit_rejects_duplicates_after_growth(self, toy_keys, rng):
+        stats = SegmentStats(toy_keys)
+        value = _free_values(toy_keys, rng, 1)[0]
+        stats.commit(value)
+        with pytest.raises(InvalidKeysError):
+            stats.commit(value)
+
+
+class TestGreedyMatchesRebuildDrivenGreedy:
+    def test_smooth_keys_identical_to_rebuild_per_step(self, small_keys):
+        """Algorithm 1 run on incremental stats == a reference run that
+        rebuilds SegmentStats from scratch after every commit."""
+        result = smooth_keys(small_keys, budget=20)
+
+        points = small_keys.copy()
+        virtual: list[int] = []
+        trace = [SegmentStats(points).base_loss()]
+        previous = trace[0]
+        while len(virtual) < 20:
+            fresh = SegmentStats(points)
+            found = _best_candidate(fresh)
+            if found is None or found[1] >= previous:
+                break
+            value, loss = found
+            points = np.insert(points, int(np.searchsorted(points, value)), value)
+            virtual.append(value)
+            previous = loss
+            trace.append(loss)
+
+        assert result.virtual_points == virtual
+        assert result.loss_trace == trace

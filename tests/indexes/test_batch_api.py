@@ -1,0 +1,169 @@
+"""Exact-parity tests for the batch query engine.
+
+Every backend's ``lookup_many`` must return, field for field, what the
+per-key ``lookup_stats`` loop returns — found flags, values, levels
+AND search-step counts — and ``insert_many`` must leave the index in
+the same state as the sequential insert loop.  Aggregation through
+``QueryProfile`` must agree between the scalar and the batch paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostConstants
+from repro.indexes import INDEX_FAMILIES
+from repro.indexes.base import BatchQueryStats
+from repro.workloads.readonly import QueryProfile
+
+ALL_FAMILIES = sorted(INDEX_FAMILIES)
+UPDATABLE = ("sorted_array", "btree", "alex", "lipp", "sali")
+STATIC = ("pgm", "rmi")
+
+
+@pytest.fixture()
+def mixed_queries(small_keys, rng):
+    """Hits and misses, shuffled, spanning the whole key range."""
+    absent = np.setdiff1d(
+        rng.integers(int(small_keys[0]) - 50, int(small_keys[-1]) + 50, 600), small_keys
+    )
+    queries = np.concatenate([rng.choice(small_keys, 400), absent[:200]])
+    rng.shuffle(queries)
+    return queries
+
+
+def assert_batch_matches_loop(batch, scalar_stats):
+    assert batch.n_queries == len(scalar_stats)
+    for i, s in enumerate(scalar_stats):
+        got = batch.stat(i)
+        assert (got.key, got.found, got.value, got.levels, got.search_steps) == (
+            s.key, s.found, s.value, s.levels, s.search_steps,
+        ), f"query {i} ({s.key}) diverged: {got} != {s}"
+
+
+class TestLookupManyParity:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_exact_parity_with_scalar_loop(self, family, small_keys, mixed_queries):
+        # Two identical indexes: SALI's access tracking mutates on
+        # lookups, so the loop and the batch each get a fresh copy.
+        loop_index = INDEX_FAMILIES[family].build(small_keys)
+        batch_index = INDEX_FAMILIES[family].build(small_keys)
+        scalar = [loop_index.lookup_stats(int(k)) for k in mixed_queries]
+        batch = batch_index.lookup_many(mixed_queries)
+        assert_batch_matches_loop(batch, scalar)
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_clustered_keys_parity(self, family, clustered_keys, rng):
+        queries = rng.choice(clustered_keys, 500)
+        loop_index = INDEX_FAMILIES[family].build(clustered_keys)
+        batch_index = INDEX_FAMILIES[family].build(clustered_keys)
+        scalar = [loop_index.lookup_stats(int(k)) for k in queries]
+        assert_batch_matches_loop(batch_index.lookup_many(queries), scalar)
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_empty_batch(self, family, small_keys):
+        index = INDEX_FAMILIES[family].build(small_keys)
+        batch = index.lookup_many(np.empty(0, dtype=np.int64))
+        assert batch.n_queries == 0
+
+    def test_order_preserved(self, small_keys):
+        index = INDEX_FAMILIES["sorted_array"].build(small_keys)
+        queries = small_keys[::-1][:50]
+        batch = index.lookup_many(queries)
+        assert np.array_equal(batch.keys, queries)
+        assert np.array_equal(batch.values, queries)
+
+    def test_sali_access_counts_match_loop(self, small_keys, mixed_queries):
+        loop_index = INDEX_FAMILIES["sali"].build(small_keys)
+        batch_index = INDEX_FAMILIES["sali"].build(small_keys)
+        for k in mixed_queries:
+            loop_index.lookup_stats(int(k))
+        batch_index.lookup_many(mixed_queries)
+        assert loop_index.tracker.total_queries == batch_index.tracker.total_queries
+        loop_counts = sum(n.access_count for n in loop_index.root.walk())
+        batch_counts = sum(n.access_count for n in batch_index.root.walk())
+        assert loop_counts == batch_counts
+
+    def test_sali_flattened_nodes_parity(self, small_keys, mixed_queries):
+        loop_index = INDEX_FAMILIES["sali"].build(small_keys)
+        batch_index = INDEX_FAMILIES["sali"].build(small_keys)
+        warm = small_keys[: small_keys.size // 3]
+        for index in (loop_index, batch_index):
+            for k in warm.tolist() * 2:
+                index.lookup_stats(int(k))
+            index.flatten_hot_subtrees(min_probability=0.01)
+        assert batch_index.flattened_nodes(), "fixture should flatten something"
+        scalar = [loop_index.lookup_stats(int(k)) for k in mixed_queries]
+        assert_batch_matches_loop(batch_index.lookup_many(mixed_queries), scalar)
+
+
+class TestInsertManyParity:
+    @pytest.mark.parametrize("family", UPDATABLE)
+    def test_state_matches_sequential_loop(self, family, small_keys, rng):
+        fresh = np.setdiff1d(
+            rng.integers(int(small_keys[0]), int(small_keys[-1]), 400), small_keys
+        )[:150]
+        rng.shuffle(fresh)
+        # Include duplicates within the batch: last value must win.
+        batch_keys = np.concatenate([fresh, fresh[:20]])
+        batch_vals = np.concatenate([fresh * 2, fresh[:20] * 3])
+        loop_index = INDEX_FAMILIES[family].build(small_keys)
+        batch_index = INDEX_FAMILIES[family].build(small_keys)
+        for k, v in zip(batch_keys.tolist(), batch_vals.tolist()):
+            loop_index.insert(int(k), int(v))
+        batch_index.insert_many(batch_keys, batch_vals)
+        assert list(loop_index.iter_keys()) == list(batch_index.iter_keys())
+        probe = np.concatenate([small_keys, fresh])
+        scalar = [loop_index.lookup_stats(int(k)) for k in probe]
+        assert_batch_matches_loop(batch_index.lookup_many(probe), scalar)
+
+    @pytest.mark.parametrize("family", UPDATABLE)
+    def test_values_default_to_keys(self, family, small_keys, rng):
+        fresh = np.setdiff1d(
+            rng.integers(int(small_keys[0]), int(small_keys[-1]), 100), small_keys
+        )[:30]
+        index = INDEX_FAMILIES[family].build(small_keys)
+        index.insert_many(fresh)
+        for k in fresh.tolist():
+            assert index.lookup(int(k)) == int(k)
+
+    @pytest.mark.parametrize("family", STATIC)
+    def test_static_indexes_raise(self, family, small_keys):
+        index = INDEX_FAMILIES[family].build(small_keys)
+        with pytest.raises(NotImplementedError):
+            index.insert_many(np.array([int(small_keys[-1]) + 10]))
+
+    def test_sorted_array_updates_existing(self, small_keys):
+        index = INDEX_FAMILIES["sorted_array"].build(small_keys)
+        index.insert_many(small_keys[:5], small_keys[:5] * 7)
+        for k in small_keys[:5].tolist():
+            assert index.lookup(int(k)) == int(k) * 7
+        assert index.n_keys == small_keys.size
+
+
+class TestAggregation:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_profile_from_batch_equals_from_stats(self, family, small_keys, mixed_queries):
+        consts = CostConstants()
+        loop_index = INDEX_FAMILIES[family].build(small_keys)
+        batch_index = INDEX_FAMILIES[family].build(small_keys)
+        scalar = [loop_index.lookup_stats(int(k)) for k in mixed_queries]
+        from_stats = QueryProfile.from_stats(scalar, consts)
+        from_batch = QueryProfile.from_batch(batch_index.lookup_many(mixed_queries), consts)
+        assert from_stats == from_batch
+
+    def test_simulated_ns_matches_scalar_model(self, small_keys):
+        consts = CostConstants(traversal_ns=7.0, search_ns=3.0, base_ns=1.0)
+        index = INDEX_FAMILIES["btree"].build(small_keys)
+        batch = index.lookup_many(small_keys[:64])
+        ns = batch.simulated_ns(consts)
+        for i in range(batch.n_queries):
+            assert ns[i] == pytest.approx(batch.stat(i).simulated_ns(consts))
+
+    def test_roundtrip_through_query_stats(self, small_keys):
+        index = INDEX_FAMILIES["rmi"].build(small_keys)
+        batch = index.lookup_many(small_keys[:40])
+        rebuilt = BatchQueryStats.from_query_stats(batch.to_list())
+        for field in ("keys", "found", "values", "levels", "search_steps"):
+            assert np.array_equal(getattr(batch, field), getattr(rebuilt, field))

@@ -1,0 +1,66 @@
+"""Import checks + smoke runs for the benchmark harness.
+
+Every ``benchmarks/*.py`` file must at least import cleanly on every
+test run, so a refactor that breaks a bench surfaces immediately
+instead of at paper-reproduction time.  The perf-regression script
+additionally gets a real ``--quick`` execution, marked ``slow``
+(deselected by default; run with ``pytest -m slow``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BENCH_SCRIPTS = sorted(p for p in BENCH_DIR.glob("*.py") if p.name != "conftest.py")
+
+
+@pytest.mark.parametrize("script", BENCH_SCRIPTS, ids=lambda p: p.stem)
+def test_bench_script_imports(script):
+    """Each bench module must import without executing its workload."""
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))  # mirrors benchmarks/conftest.py
+    spec = importlib.util.spec_from_file_location(f"bench_import_{script.stem}", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+
+def test_perf_regression_has_cli():
+    spec = importlib.util.spec_from_file_location(
+        "bench_perf_regression_cli", BENCH_DIR / "bench_perf_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)
+    assert callable(module.run)
+
+
+@pytest.mark.slow
+def test_perf_regression_quick_smoke(tmp_path):
+    """End-to-end --quick run: parity asserts inside the script must
+    hold and the JSON trajectory file must be complete."""
+    out = tmp_path / "BENCH_perf.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH_DIR / "bench_perf_regression.py"), "--quick", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(out.read_text())
+    assert report["config"]["quick"] is True
+    assert report["smoothing"]["speedup"] > 1.0
+    assert set(report["lookups"]) == {
+        "alex", "lipp", "sali", "btree", "pgm", "rmi", "sorted_array",
+    }
+    for row in report["lookups"].values():
+        assert row["batch_lookups_per_s"] > 0
+    assert set(report["inserts"]) == {"sorted_array", "btree", "alex", "lipp", "sali"}
