@@ -1,0 +1,140 @@
+"""Serving-layer benchmark: shard-scaling throughput and latency.
+
+Measures the sharded :class:`~repro.serving.service.IndexService`
+against the monolithic batch engine over a shard-count sweep — wall
+clock lookups/s (routing overhead included), threaded variant, mixed
+read/write workload throughput, and the simulated-ns latency the cost
+model assigns — and merges the results into ``BENCH_perf.json`` under
+the ``"serving"`` key (the smoothing/lookup/insert sections written by
+``bench_perf_regression.py`` are preserved).
+
+Run directly::
+
+    python benchmarks/bench_serving.py            # full (n=20k)
+    python benchmarks/bench_serving.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serving import IndexService  # noqa: E402
+from repro.workloads import run_service_workload  # noqa: E402
+
+#: Families benched: the CSV flagship (lipp), the classical oracle
+#: (btree) and the fastest static batch backend (pgm).
+FAMILIES = ("lipp", "btree", "pgm")
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def bench_family(
+    family: str,
+    keys: np.ndarray,
+    queries: np.ndarray,
+    n_ops: int,
+    max_workers: int,
+    seed: int,
+) -> dict:
+    out = {}
+    for k in SHARD_COUNTS:
+        row: dict = {"n_shards": k}
+        with IndexService.build(keys, family=family, n_shards=k) as service:
+            start = time.perf_counter()
+            batch = service.lookup_many(queries)
+            wall = time.perf_counter() - start
+            ns = batch.simulated_ns(service.constants)
+            row["lookups_per_s"] = round(queries.size / wall, 1)
+            row["avg_sim_ns"] = round(float(ns.mean()), 1)
+            row["p99_sim_ns"] = round(float(np.percentile(ns, 99)), 1)
+        with IndexService.build(
+            keys, family=family, n_shards=k, max_workers=max_workers
+        ) as service:
+            start = time.perf_counter()
+            threaded_batch = service.lookup_many(queries)
+            wall = time.perf_counter() - start
+            row["threaded_lookups_per_s"] = round(queries.size / wall, 1)
+            if not (
+                np.array_equal(threaded_batch.found, batch.found)
+                and np.array_equal(threaded_batch.values, batch.values)
+                and np.array_equal(threaded_batch.levels, batch.levels)
+                and np.array_equal(threaded_batch.search_steps, batch.search_steps)
+            ):
+                raise AssertionError(f"{family} K={k}: threaded gather diverged")
+        with IndexService.build(
+            keys, family=family, n_shards=k, staleness_threshold=0.2
+        ) as service:
+            report = run_service_workload(
+                service, keys, n_ops=n_ops, read_fraction=0.9, seed=seed
+            )
+            row["mixed_ops_per_s"] = round(report.ops_per_second, 1)
+            row["merges"] = service.stats.merges
+        out[f"K{k}"] = row
+    return out
+
+
+def run(quick: bool, out_path: Path, seed: int = 0) -> dict:
+    n = 4_000 if quick else 20_000
+    n_queries = 8_000 if quick else 40_000
+    n_ops = 5_000 if quick else 30_000
+    max_workers = 4
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, n * 10_000, n))
+    queries = rng.choice(keys, n_queries)
+
+    serving = {
+        "config": {
+            "quick": quick,
+            "n": n,
+            "n_queries": n_queries,
+            "n_ops": n_ops,
+            "max_workers": max_workers,
+            "shard_counts": list(SHARD_COUNTS),
+            "seed": seed,
+        },
+        "scaling": {
+            family: bench_family(family, keys, queries, n_ops, max_workers, seed)
+            for family in FAMILIES
+        },
+    }
+
+    report = {}
+    if out_path.exists():
+        report = json.loads(out_path.read_text())
+    report["serving"] = serving
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return serving
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_perf.json",
+        help="JSON report to merge the serving section into",
+    )
+    args = parser.parse_args(argv)
+    serving = run(args.quick, args.out, args.seed)
+    for family, sweep in serving["scaling"].items():
+        for label, row in sweep.items():
+            print(
+                f"{family:8s} {label:3s} lookups {row['lookups_per_s']:>12,.0f}/s  "
+                f"threaded {row['threaded_lookups_per_s']:>12,.0f}/s  "
+                f"mixed {row['mixed_ops_per_s']:>10,.0f} ops/s  "
+                f"avg {row['avg_sim_ns']:>6.0f} sim-ns"
+            )
+    print(f"wrote serving section to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,6 +57,7 @@ from .indexes import (
     SortedArrayIndex,
     adapter_for,
 )
+from .serving import IndexService, ShardRouter, plan_shards
 
 __version__ = "1.0.0"
 
@@ -69,6 +70,7 @@ __all__ = [
     "DATASETS",
     "GapInsertionLayout",
     "INDEX_FAMILIES",
+    "IndexService",
     "InvalidKeysError",
     "LinearModel",
     "LippIndex",
@@ -79,6 +81,7 @@ __all__ = [
     "ReproError",
     "SaliIndex",
     "SegmentStats",
+    "ShardRouter",
     "SmoothingBudgetError",
     "SmoothingResult",
     "SortedArrayIndex",
@@ -88,6 +91,7 @@ __all__ = [
     "fit_linear",
     "generate",
     "load",
+    "plan_shards",
     "poison_keys",
     "run_csv_experiment",
     "smooth_keys",

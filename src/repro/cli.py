@@ -7,6 +7,9 @@ Commands:
 * ``build``     — build an index and print its structure.
 * ``csv``       — run one CSV experiment (build → optimise → measure).
 * ``levels``    — per-level query costs (the Fig. 1 view).
+* ``serve``     — simulate the sharded serving layer under a mixed
+  read/write workload (per-shard latency percentiles), or compare
+  sharded against monolithic with ``--compare``.
 
 Examples::
 
@@ -14,6 +17,8 @@ Examples::
     python -m repro smooth --dataset genome --n 5000 --alpha 0.2
     python -m repro build --index lipp --dataset osm --n 10000
     python -m repro csv --index alex --dataset facebook --alpha 0.1
+    python -m repro serve --index lipp --shards 8 --dataset osm --ops 50000
+    python -m repro serve --index btree --shards 4 --compare
 """
 
 from __future__ import annotations
@@ -65,6 +70,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_levels.add_argument("--index", choices=["lipp", "sali", "alex"], default="lipp")
     p_levels.add_argument("--dataset", choices=sorted(DATASETS), default="genome")
     p_levels.add_argument("--n", type=int, default=10_000)
+
+    p_serve = sub.add_parser(
+        "serve", help="simulate the sharded serving layer on a workload"
+    )
+    p_serve.add_argument("--index", choices=sorted(INDEX_FAMILIES), default="lipp")
+    p_serve.add_argument("--dataset", choices=sorted(DATASETS), default="facebook")
+    p_serve.add_argument("--n", type=int, default=20_000)
+    p_serve.add_argument("--shards", type=int, default=8)
+    p_serve.add_argument(
+        "--mode", choices=["equi_depth", "cost_balanced"], default="equi_depth"
+    )
+    p_serve.add_argument(
+        "--alpha", default=None,
+        help="per-shard smoothing α: a float, 'auto', or 'auto:<float>'",
+    )
+    p_serve.add_argument("--ops", type=int, default=50_000, help="total operations")
+    p_serve.add_argument("--read-frac", type=float, default=0.9)
+    p_serve.add_argument("--batch", type=int, default=2_048)
+    p_serve.add_argument(
+        "--zipf", action="store_true", help="Zipf-skewed reads instead of uniform"
+    )
+    p_serve.add_argument("--threads", type=int, default=0, help="shard worker threads")
+    p_serve.add_argument("--cache-blocks", type=int, default=0, help="LRU cache size")
+    p_serve.add_argument("--staleness", type=float, default=0.1,
+                         help="write-buffer merge threshold (buffered/stored)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--compare", action="store_true",
+        help="run the sharded-vs-monolithic comparison table instead",
+    )
 
     return parser
 
@@ -160,12 +195,106 @@ def _cmd_levels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_alpha(raw: str | None) -> float | str | None:
+    if raw is None:
+        return None
+    if raw.startswith("auto"):
+        return raw
+    return float(raw)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .evaluation.runner import run_sharded_experiment
+    from .serving import IndexService
+    from .workloads import run_service_workload
+
+    if args.compare:
+        rows = run_sharded_experiment(
+            args.index,
+            args.dataset,
+            n=args.n,
+            shard_counts=tuple(sorted({k for k in (1, 2, args.shards) if k <= args.shards})),
+            mode=args.mode,
+            alpha=_parse_alpha(args.alpha),
+            n_queries=max(args.ops, 1),
+            seed=args.seed,
+            max_workers=args.threads or None,
+        )
+        print(
+            ascii_table(
+                ["configuration", "build s", "lookups/s", "avg sim ns",
+                 "p99 sim ns", "cost imbalance"],
+                [
+                    [r.label, f"{r.build_seconds:.2f}",
+                     f"{r.lookups_per_second:,.0f}", f"{r.avg_simulated_ns:.0f}",
+                     f"{r.p99_simulated_ns:.0f}", f"{r.cost_imbalance:.2f}"]
+                    for r in rows
+                ],
+            )
+        )
+        return 0
+
+    keys = load(args.dataset, args.n)
+    with IndexService.build(
+        keys,
+        family=args.index,
+        n_shards=args.shards,
+        mode=args.mode,
+        alpha=_parse_alpha(args.alpha),
+        max_workers=args.threads or None,
+        cache_blocks=args.cache_blocks,
+        staleness_threshold=args.staleness,
+    ) as service:
+        plan = service.plan
+        print(
+            f"{args.index} x {plan.n_shards} shards ({plan.mode}) over "
+            f"{keys.size} {args.dataset} keys; threads={args.threads or 'off'}, "
+            f"cache={args.cache_blocks} blocks"
+        )
+        print(
+            "  shard sizes: "
+            + ", ".join(str(s.size) for s in plan.shard_keys)
+            + f"  (cost imbalance {plan.cost_imbalance():.2f})"
+        )
+        if any(a is not None for a in plan.alphas):
+            print(
+                "  per-shard alpha: "
+                + ", ".join("-" if a is None else f"{a:.3f}" for a in plan.alphas)
+            )
+        report = run_service_workload(
+            service,
+            keys,
+            n_ops=args.ops,
+            read_fraction=args.read_frac,
+            batch_size=args.batch,
+            distribution="zipf" if args.zipf else "uniform",
+            seed=args.seed,
+        )
+        print(
+            f"\nworkload: {report.n_reads} reads / {report.n_writes} writes in "
+            f"{report.n_batches} batches, {report.wall_seconds:.2f}s wall "
+            f"({report.ops_per_second:,.0f} ops/s), read hit rate "
+            f"{report.read_hit_rate:.3f}"
+        )
+        stats = service.stats
+        print(
+            f"buffers: {stats.buffer_hits} hits, {stats.merges} merges "
+            f"({stats.merged_keys} keys merged, {stats.resmoothed_shards} "
+            f"re-smoothed); cache: {stats.cache_hits} hits / "
+            f"{stats.cache_misses} misses ({stats.cache_fills} fills)"
+        )
+        print("\nper-shard latency percentiles (simulated ns):")
+        print(service.latency_report().to_table())
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "smooth": _cmd_smooth,
     "build": _cmd_build,
     "csv": _cmd_csv,
     "levels": _cmd_levels,
+    "serve": _cmd_serve,
 }
 
 

@@ -147,6 +147,34 @@ def _as_query_array(keys: np.ndarray | list) -> np.ndarray:
     return np.ascontiguousarray(arr, dtype=np.int64)
 
 
+def _as_batch_kv(
+    keys: np.ndarray | list,
+    values: np.ndarray | list | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise a write batch to parallel contiguous int64 arrays.
+
+    Values default to the keys; a shape mismatch raises.  Shared by
+    every batched write entry point (indexes, router, service).
+    """
+    arr = _as_query_array(keys)
+    if values is None:
+        return arr, arr
+    vals = np.ascontiguousarray(np.asarray(values), dtype=np.int64)
+    if vals.shape != arr.shape:
+        raise IndexStateError("values must parallel keys")
+    return arr, vals
+
+
+def _range_from_sorted_arrays(
+    keys: np.ndarray, values: np.ndarray, low: int, high: int
+) -> list[tuple[int, int]]:
+    """Range scan over parallel sorted arrays (shared by the
+    array-backed indexes' ``range_query`` implementations)."""
+    lo = int(np.searchsorted(keys, int(low), side="left"))
+    hi = int(np.searchsorted(keys, int(high), side="right"))
+    return list(zip(keys[lo:hi].tolist(), values[lo:hi].tolist()))
+
+
 def prepare_key_values(
     keys: np.ndarray | list,
     values: np.ndarray | list | None = None,
@@ -212,6 +240,25 @@ class LearnedIndex(ABC):
 
     def __contains__(self, key: int) -> bool:
         return self.lookup_stats(int(key)).found
+
+    def range_query(self, low: int, high: int) -> list[tuple[int, int]]:
+        """All (key, value) pairs with ``low <= key <= high``.
+
+        Generic implementation: walk :meth:`iter_keys` (ascending) and
+        resolve each in-range key's value, stopping past *high*.
+        Backends with an ordered physical layout override this with a
+        direct scan; the serving layer's block cache and range path
+        rely on every backend answering it.
+        """
+        low = int(low)
+        high = int(high)
+        out: list[tuple[int, int]] = []
+        for key in self.iter_keys():
+            if key > high:
+                break
+            if key >= low:
+                out.append((key, self.lookup_strict(key)))
+        return out
 
     # ------------------------------------------------------------------
     # Structure inspection
@@ -296,10 +343,18 @@ class LearnedIndex(ABC):
         return self.lookup_many(keys).to_list()
 
     def verify_against(self, keys: np.ndarray, values: np.ndarray) -> None:
-        """Assert every (key, value) pair is retrievable — test helper."""
-        for key, value in zip(keys.tolist(), values.tolist()):
-            got = self.lookup(int(key))
-            if got != int(value):
-                raise IndexStateError(
-                    f"{self.name}: lookup({key}) returned {got}, expected {value}"
-                )
+        """Assert every (key, value) pair is retrievable — test helper.
+
+        Runs through the batch engine, so verification itself exercises
+        the fast path instead of a per-key Python loop.
+        """
+        batch = self.lookup_many(np.asarray(keys))
+        expected = np.asarray(values, dtype=np.int64)
+        bad = ~batch.found | (batch.values != expected)
+        if np.any(bad):
+            i = int(np.argmax(bad))
+            got = int(batch.values[i]) if batch.found[i] else None
+            raise IndexStateError(
+                f"{self.name}: lookup({int(batch.keys[i])}) returned {got}, "
+                f"expected {int(expected[i])}"
+            )

@@ -29,6 +29,7 @@ from .base import (
     LearnedIndex,
     QueryStats,
     _as_query_array,
+    _range_from_sorted_arrays,
     prepare_key_values,
 )
 
@@ -217,6 +218,16 @@ class PGMIndex(LearnedIndex):
                 )
             seg_idx = np.minimum(pos, len(self._levels[level - 1]) - 1)
         raise AssertionError("unreachable")
+
+    def range_query(self, low: int, high: int) -> list[tuple[int, int]]:
+        """All (key, value) pairs with ``low <= key <= high``.
+
+        The data level is one dense sorted array, so (as in the real
+        PGM) a range is the slice between the bounds' positions; the
+        segment hierarchy is only needed to *price* locating the first
+        key, not to enumerate the range.
+        """
+        return _range_from_sorted_arrays(self._keys, self._values, low, high)
 
     @property
     def n_keys(self) -> int:

@@ -25,6 +25,7 @@ from .base import (
     LearnedIndex,
     QueryStats,
     _as_query_array,
+    _range_from_sorted_arrays,
     prepare_key_values,
 )
 
@@ -133,6 +134,12 @@ class RMIIndex(LearnedIndex):
             levels=np.full(m, 2, dtype=np.int64),
             search_steps=steps,
         )
+
+    def range_query(self, low: int, high: int) -> list[tuple[int, int]]:
+        """All (key, value) pairs with ``low <= key <= high`` — RMI
+        stores the data as one dense sorted array, so a range is the
+        slice between the bounds' positions."""
+        return _range_from_sorted_arrays(self._keys, self._values, low, high)
 
     @property
     def n_keys(self) -> int:

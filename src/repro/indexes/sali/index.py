@@ -216,3 +216,41 @@ class SaliIndex(LippIndex):
     def iter_keys(self) -> Iterator[int]:
         for key, __ in self._root.iter_entries():
             yield key
+
+    # ------------------------------------------------------------------
+    # Range queries (flattening-aware)
+    # ------------------------------------------------------------------
+    def range_query(self, low: int, high: int) -> list[tuple[int, int]]:
+        """All (key, value) pairs with ``low <= key <= high``.
+
+        Same in-order bounded walk as LIPP, except flattened subtrees —
+        whose entries are dense sorted arrays — are answered with a
+        single ``searchsorted`` slice instead of entry-by-entry
+        iteration.  Returns True from the helper once a key above
+        *high* is seen, which cuts the remainder of the walk.
+        """
+        low = int(low)
+        high = int(high)
+        out: list[tuple[int, int]] = []
+
+        def scan(node) -> bool:
+            if isinstance(node, FlattenedNode):
+                lo = int(np.searchsorted(node.keys, low, side="left"))
+                hi = int(np.searchsorted(node.keys, high, side="right"))
+                out.extend(zip(node.keys[lo:hi].tolist(), node.values[lo:hi].tolist()))
+                return hi < int(node.keys.size)
+            for slot in range(node.m):
+                kind = int(node.slot_type[slot])
+                if kind == SLOT_DATA:
+                    key = int(node.slot_keys[slot])
+                    if key > high:
+                        return True
+                    if key >= low:
+                        out.append((key, int(node.slot_values[slot])))
+                elif kind == SLOT_CHILD:
+                    if scan(node.children[slot]):
+                        return True
+            return False
+
+        scan(self._root)
+        return out

@@ -19,6 +19,7 @@ from .base import (
     LearnedIndex,
     QueryStats,
     _as_query_array,
+    _range_from_sorted_arrays,
     prepare_key_values,
 )
 
@@ -163,6 +164,11 @@ class SortedArrayIndex(LearnedIndex):
             stack.append((mid + 1, hi, depth + 1))
         self._probe_tables = (steps_hit[:n] if n else steps_hit[:0], steps_miss)
         return self._probe_tables
+
+    def range_query(self, low: int, high: int) -> list[tuple[int, int]]:
+        """All (key, value) pairs with ``low <= key <= high`` — a
+        contiguous slice of the backing arrays."""
+        return _range_from_sorted_arrays(self._keys, self._values, low, high)
 
     @property
     def n_keys(self) -> int:

@@ -1,0 +1,40 @@
+"""Sharded serving layer: range partitioning, routing, and a
+cache-fronted index service.
+
+The paper evaluates one monolithic index at a time; this package
+scales the PR-1 batch query engine horizontally.  A key set is
+range-partitioned into K shards (:mod:`~repro.serving.partitioner`),
+each shard is built — and optionally CSV-smoothed with its own α — as
+an independent index, a vectorised scatter/gather router fans query
+batches out and gathers the per-shard :class:`~repro.indexes.base.
+BatchQueryStats` back into positional order
+(:mod:`~repro.serving.router`), and :class:`~repro.serving.service.
+IndexService` fronts the shards with a read-through LRU block cache,
+per-shard write buffers with staleness-triggered merge + re-smoothing,
+and per-shard latency percentile reporting.
+"""
+
+from .partitioner import (
+    SMOOTHABLE_FAMILIES,
+    ShardPlan,
+    auto_alphas,
+    build_shard_indexes,
+    plan_shards,
+    predicted_shard_cost,
+)
+from .router import RoutedBatch, ShardRouter
+from .service import IndexService, LatencyReport, ServiceStats
+
+__all__ = [
+    "IndexService",
+    "LatencyReport",
+    "RoutedBatch",
+    "SMOOTHABLE_FAMILIES",
+    "ServiceStats",
+    "ShardPlan",
+    "ShardRouter",
+    "auto_alphas",
+    "build_shard_indexes",
+    "plan_shards",
+    "predicted_shard_cost",
+]

@@ -1,0 +1,280 @@
+"""Range partitioning: choose shard boundaries from the key CDF.
+
+Two modes:
+
+* ``equi_depth`` — boundaries at the K-quantiles of the key array, so
+  every shard holds (almost exactly) ``n / K`` keys.  This balances
+  *storage*, not query cost: a shard covering a hard region of the CDF
+  (high local model error) answers slower than its siblings.
+* ``cost_balanced`` — boundaries equalise the *predicted per-shard
+  query cost* under the paper's cost model (Eq. 22 via
+  :mod:`repro.core.cost_model`): the keys are cut into fine chunks,
+  each chunk is priced as ``n_chunk · node_cost(expected_search_steps
+  (SSE, n_chunk), 1)`` from its refitted linear model's SSE, and the
+  cumulative cost curve is cut into K equal parts.  Hard regions get
+  narrower (smaller) shards.
+
+A :class:`ShardPlan` also carries one smoothing α per shard.  Because
+every shard is smoothed *independently*, a plan can spend more virtual
+points on harder shards (``alphas="auto"``) — an experiment the
+paper's single-index evaluation cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.cost_model import CostConstants, expected_search_steps, node_cost
+from ..core.csv_algorithm import CsvConfig, CsvReport, apply_csv
+from ..core.exceptions import InvalidKeysError
+from ..core.segment_stats import SegmentStats, validate_keys
+from ..indexes import INDEX_FAMILIES, adapter_for
+from ..indexes.base import LearnedIndex, prepare_key_values
+
+__all__ = [
+    "SMOOTHABLE_FAMILIES",
+    "ShardPlan",
+    "auto_alphas",
+    "build_shard_indexes",
+    "plan_shards",
+    "predicted_shard_cost",
+]
+
+#: Families CSV integrates with — the only ones a per-shard α affects.
+SMOOTHABLE_FAMILIES = ("alex", "lipp", "sali")
+
+#: Partitioning modes understood by :func:`plan_shards`.
+MODES = ("equi_depth", "cost_balanced")
+
+
+def predicted_shard_cost(
+    keys: np.ndarray, constants: CostConstants | None = None
+) -> float:
+    """Predicted total query cost of serving *keys* from one node.
+
+    Prices the shard as a single root-level model node (Eq. 22): the
+    refitted linear model's SSE gives the expected in-node search
+    steps, and every key is assumed queried once.  Absolute values
+    only matter relative to other shards.
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return 0.0
+    if keys.size < 2:
+        loss = 0.0
+    else:
+        loss = SegmentStats(keys).base_loss()
+    searches = expected_search_steps(loss, int(keys.size))
+    return float(keys.size) * node_cost(searches, 1, constants)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A range partitioning of one key set into K shards.
+
+    Attributes:
+        boundaries: ``K-1`` non-decreasing cut keys; a query key ``k``
+            belongs to shard ``searchsorted(boundaries, k, 'right')``
+            (so ``boundaries[i]`` is the smallest key of shard
+            ``i+1``).  Equal adjacent boundaries produce an empty
+            shard in between — legal, and served as all-miss.
+        shard_keys / shard_values: the per-shard key/value slices.
+        alphas: per-shard smoothing α (None = shard not smoothed).
+        mode: the partitioning mode that produced the plan.
+        predicted_costs: :func:`predicted_shard_cost` of every shard.
+    """
+
+    boundaries: np.ndarray
+    shard_keys: tuple[np.ndarray, ...]
+    shard_values: tuple[np.ndarray, ...]
+    alphas: tuple[float | None, ...]
+    mode: str
+    predicted_costs: tuple[float, ...] = field(default=())
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_keys)
+
+    @property
+    def n_keys(self) -> int:
+        return int(sum(k.size for k in self.shard_keys))
+
+    def shard_of(self, keys: np.ndarray | list) -> np.ndarray:
+        """Vectorised shard assignment of a query batch."""
+        return np.searchsorted(
+            self.boundaries, np.asarray(keys, dtype=np.int64), side="right"
+        )
+
+    def cost_imbalance(self) -> float:
+        """max/mean ratio of the predicted per-shard costs (1.0 = flat)."""
+        costs = np.asarray(self.predicted_costs, dtype=np.float64)
+        if costs.size == 0 or costs.mean() == 0.0:
+            return 1.0
+        return float(costs.max() / costs.mean())
+
+
+def auto_alphas(
+    predicted_costs: Sequence[float], base_alpha: float, cap: float = 1.0
+) -> tuple[float, ...]:
+    """Spend the smoothing budget where the cost model says it hurts.
+
+    Scales *base_alpha* per shard by the shard's share of the total
+    predicted cost (mean-normalised, clipped to ``[0, cap]``), so the
+    aggregate virtual-point budget stays ≈ ``base_alpha · n`` while
+    hard shards get more of it.
+    """
+    costs = np.asarray(predicted_costs, dtype=np.float64)
+    if costs.size == 0 or costs.sum() == 0.0:
+        return tuple(float(base_alpha) for _ in range(costs.size))
+    scaled = base_alpha * costs / costs.mean()
+    return tuple(float(a) for a in np.clip(scaled, 0.0, cap))
+
+
+def _equi_depth_cuts(n: int, k: int) -> np.ndarray:
+    """Key-array positions starting shards 1..K-1."""
+    return np.asarray([(n * i) // k for i in range(1, k)], dtype=np.int64)
+
+
+def _cost_balanced_cuts(
+    keys: np.ndarray, k: int, constants: CostConstants | None
+) -> np.ndarray:
+    """Positions cutting the cumulative predicted-cost curve K ways.
+
+    The keys are diced into fine chunks (well below the shard
+    granularity), each chunk priced with :func:`predicted_shard_cost`,
+    and shard starts placed where the cumulative cost crosses each
+    ``j/K`` of the total.  Two quantiles landing in one chunk collapse
+    to the same position — that shard comes out empty rather than the
+    cut being silently moved.
+    """
+    n = int(keys.size)
+    n_chunks = min(n, max(64, 16 * k))
+    chunk_bounds = np.linspace(0, n, n_chunks + 1).astype(np.int64)
+    chunk_costs = np.asarray(
+        [
+            predicted_shard_cost(keys[lo:hi], constants)
+            for lo, hi in zip(chunk_bounds[:-1], chunk_bounds[1:])
+        ]
+    )
+    cumulative = np.concatenate([[0.0], np.cumsum(chunk_costs)])
+    total = cumulative[-1]
+    if total == 0.0:
+        return _equi_depth_cuts(n, k)
+    targets = total * np.arange(1, k) / k
+    chunk_idx = np.searchsorted(cumulative, targets, side="left")
+    chunk_idx = np.clip(chunk_idx, 1, n_chunks)
+    return chunk_bounds[chunk_idx]
+
+
+def plan_shards(
+    keys: np.ndarray | list,
+    n_shards: int,
+    values: np.ndarray | list | None = None,
+    mode: str = "equi_depth",
+    alpha: float | Sequence[float] | str | None = None,
+    constants: CostConstants | None = None,
+) -> ShardPlan:
+    """Choose K shard boundaries from the key CDF and slice the data.
+
+    Args:
+        keys: sorted unique int keys (the usual build contract).
+        n_shards: K ≥ 1.
+        values: optional payloads parallel to *keys*.
+        mode: ``"equi_depth"`` or ``"cost_balanced"`` (see module doc).
+        alpha: per-shard smoothing α — a scalar (same everywhere), a
+            length-K sequence, the string ``"auto"`` (scalar budget
+            redistributed by predicted cost; uses 0.1 as the base), or
+            None (no smoothing).  ``"auto:<float>"`` sets the base.
+        constants: cost-model constants for the cost-balanced mode.
+    """
+    arr, vals = prepare_key_values(validate_keys(keys), values)
+    k = int(n_shards)
+    if k < 1:
+        raise InvalidKeysError("n_shards must be >= 1")
+    if mode not in MODES:
+        raise InvalidKeysError(f"unknown partitioning mode {mode!r}; choose from {MODES}")
+    n = int(arr.size)
+    if k == 1:
+        cuts = np.empty(0, dtype=np.int64)
+    elif mode == "equi_depth":
+        cuts = _equi_depth_cuts(n, k)
+    else:
+        cuts = _cost_balanced_cuts(arr, k, constants)
+    cuts = np.minimum(cuts, n - 1)
+    boundaries = arr[cuts]
+    starts = np.concatenate([[0], cuts])
+    ends = np.concatenate([cuts, [n]])
+    # Collapsed cuts (possible when K approaches n or a cost quantile
+    # repeats a chunk) make ends < starts for the squeezed-out shard;
+    # clamp to empty.
+    ends = np.maximum(ends, starts)
+    shard_keys = tuple(arr[lo:hi] for lo, hi in zip(starts, ends))
+    shard_values = tuple(vals[lo:hi] for lo, hi in zip(starts, ends))
+    costs = tuple(predicted_shard_cost(s, constants) for s in shard_keys)
+
+    if alpha is None:
+        alphas: tuple[float | None, ...] = tuple(None for _ in range(k))
+    elif isinstance(alpha, str):
+        if alpha == "auto":
+            base = 0.1
+        elif alpha.startswith("auto:"):
+            base = float(alpha.split(":", 1)[1])
+        else:
+            raise InvalidKeysError(f"unknown alpha spec {alpha!r}")
+        alphas = auto_alphas(costs, base)
+    elif isinstance(alpha, (int, float)):
+        alphas = tuple(float(alpha) for _ in range(k))
+    else:
+        if len(alpha) != k:
+            raise InvalidKeysError("per-shard alphas must have one entry per shard")
+        alphas = tuple(None if a is None else float(a) for a in alpha)
+
+    return ShardPlan(
+        boundaries=boundaries,
+        shard_keys=shard_keys,
+        shard_values=shard_values,
+        alphas=alphas,
+        mode=mode,
+        predicted_costs=costs,
+    )
+
+
+def build_shard_indexes(
+    plan: ShardPlan,
+    family: str,
+    constants: CostConstants | None = None,
+) -> tuple[list[LearnedIndex | None], list[CsvReport | None]]:
+    """Build (and independently smooth) one index per shard.
+
+    Empty shards build to None — the router serves them as all-miss
+    and the service lazily materialises them on first insert.  Shards
+    of a :data:`SMOOTHABLE_FAMILIES` backend with a non-None α get CSV
+    (Algorithm 2) applied in place with that shard's own budget; other
+    families ignore α.  Returns the indexes and the per-shard CSV
+    reports (None where not smoothed).
+    """
+    try:
+        cls = INDEX_FAMILIES[family]
+    except KeyError:
+        raise InvalidKeysError(
+            f"unknown index family {family!r}; choose from {sorted(INDEX_FAMILIES)}"
+        ) from None
+    indexes: list[LearnedIndex | None] = []
+    reports: list[CsvReport | None] = []
+    for shard_keys, shard_values, shard_alpha in zip(
+        plan.shard_keys, plan.shard_values, plan.alphas
+    ):
+        if shard_keys.size == 0:
+            indexes.append(None)
+            reports.append(None)
+            continue
+        index = cls.build(shard_keys, shard_values)
+        report = None
+        if shard_alpha is not None and shard_alpha > 0.0 and family in SMOOTHABLE_FAMILIES:
+            report = apply_csv(adapter_for(index, constants), CsvConfig(alpha=shard_alpha))
+        indexes.append(index)
+        reports.append(report)
+    return indexes, reports

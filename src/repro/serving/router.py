@@ -1,0 +1,295 @@
+"""Vectorised scatter/gather routing over range-partitioned shards.
+
+One ``np.searchsorted`` against the boundary array assigns every query
+of a batch to its shard; a stable argsort groups the batch into
+per-shard contiguous runs; each run goes down its shard's
+``lookup_many`` / ``insert_many`` (serially, or on a shared
+``ThreadPoolExecutor``); and the per-shard
+:class:`~repro.indexes.base.BatchQueryStats` are gathered back into
+the caller's positional order.  The gather is *exact*: entry ``i`` of
+the gathered batch is bit-identical to routing ``keys[i]`` alone and
+looking it up in its shard, threads or not.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.exceptions import IndexStateError
+from ..indexes.base import (
+    BatchQueryStats,
+    LearnedIndex,
+    _as_batch_kv,
+    _as_query_array,
+)
+
+__all__ = ["RoutedBatch", "ShardRouter", "dedupe_last_wins"]
+
+
+def dedupe_last_wins(
+    keys: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort a key/value run keeping the last occurrence of each key.
+
+    The batch-order last-wins semantics of sequential ``insert`` calls,
+    as sorted unique arrays ready for a bulk ``build`` — shared by the
+    router's empty-shard materialisation and the service's merge path.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_vals = values[order]
+    last = np.ones(sorted_keys.size, dtype=bool)
+    last[:-1] = sorted_keys[:-1] != sorted_keys[1:]
+    return sorted_keys[last], sorted_vals[last]
+
+
+@dataclass(frozen=True)
+class RoutedBatch:
+    """Result of one routed lookup batch.
+
+    Attributes:
+        gathered: the batch stats in the caller's query order — what a
+            monolithic ``lookup_many`` would have returned for
+            found/values, with levels/steps as reported by the shard
+            that served each query.
+        shard_ids: shard serving each query, parallel to the batch.
+        per_shard: each shard's own BatchQueryStats (None where the
+            shard received no queries), in shard order — the inputs to
+            per-shard latency accounting.
+    """
+
+    gathered: BatchQueryStats
+    shard_ids: np.ndarray
+    per_shard: tuple[BatchQueryStats | None, ...]
+
+
+class ShardRouter:
+    """Scatter/gather router over a list of shard indexes.
+
+    ``shards[i]`` may be None (an empty shard): lookups routed there
+    miss with zero traversal cost, and inserts materialise the shard
+    through *build_factory* on first write.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[LearnedIndex | None],
+        boundaries: np.ndarray,
+        max_workers: int | None = None,
+        build_factory: Callable[[np.ndarray, np.ndarray], LearnedIndex] | None = None,
+    ):
+        boundaries = np.asarray(boundaries, dtype=np.int64)
+        if boundaries.size != len(shards) - 1:
+            raise IndexStateError(
+                f"{len(shards)} shards need {len(shards) - 1} boundaries, "
+                f"got {boundaries.size}"
+            )
+        if boundaries.size > 1 and np.any(np.diff(boundaries) < 0):
+            raise IndexStateError("shard boundaries must be non-decreasing")
+        self._shards = list(shards)
+        self._boundaries = boundaries
+        self._build_factory = build_factory
+        self._executor: ThreadPoolExecutor | None = None
+        if max_workers is not None and max_workers > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(int(max_workers), max(len(shards), 1)),
+                thread_name_prefix="shard",
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[LearnedIndex | None, ...]:
+        return tuple(self._shards)
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        return self._boundaries.copy()
+
+    @property
+    def threaded(self) -> bool:
+        return self._executor is not None
+
+    @property
+    def n_keys(self) -> int:
+        return sum(s.n_keys for s in self._shards if s is not None)
+
+    def size_bytes(self) -> int:
+        """Aggregate modelled storage footprint of every shard."""
+        return sum(s.size_bytes() for s in self._shards if s is not None)
+
+    def shard_of(self, keys: np.ndarray | list) -> np.ndarray:
+        """Vectorised shard assignment: one searchsorted for the batch."""
+        return np.searchsorted(self._boundaries, _as_query_array(keys), side="right")
+
+    # ------------------------------------------------------------------
+    # Scatter/gather
+    # ------------------------------------------------------------------
+    def group_by_shard(
+        self, keys: np.ndarray | list
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Group a batch into per-shard contiguous runs.
+
+        Returns ``(shard_ids, order, offsets)``: *order* stably sorts
+        the batch by shard (preserving batch order within a shard —
+        what makes insert last-wins semantics survive routing), and
+        ``order[offsets[s]:offsets[s+1]]`` are the positions routed to
+        shard ``s``.  The service's write path reuses this grouping
+        for its buffers.
+        """
+        shard_ids = self.shard_of(keys)
+        order = np.argsort(shard_ids, kind="stable")
+        counts = np.bincount(shard_ids, minlength=self.n_shards)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        return shard_ids, order, offsets
+
+    def _map_shards(self, tasks: list[tuple[int, Callable[[], object]]]) -> dict[int, object]:
+        """Run one closure per shard, on the pool when configured."""
+        if self._executor is None or len(tasks) <= 1:
+            return {shard: task() for shard, task in tasks}
+        futures = {shard: self._executor.submit(task) for shard, task in tasks}
+        return {shard: future.result() for shard, future in futures.items()}
+
+    def lookup_many(self, keys: np.ndarray | list) -> RoutedBatch:
+        """Routed batched lookups with exact positional gather."""
+        q = _as_query_array(keys)
+        m = int(q.size)
+        shard_ids, order, offsets = self.group_by_shard(q)
+        found = np.zeros(m, dtype=bool)
+        values = np.zeros(m, dtype=np.int64)
+        levels = np.zeros(m, dtype=np.int64)
+        steps = np.zeros(m, dtype=np.int64)
+        per_shard: list[BatchQueryStats | None] = [None] * self.n_shards
+
+        tasks = []
+        for shard_no in range(self.n_shards):
+            lo, hi = int(offsets[shard_no]), int(offsets[shard_no + 1])
+            if lo == hi:
+                continue
+            positions = order[lo:hi]
+            shard = self._shards[shard_no]
+            if shard is None:
+                # Empty shard: a definite miss with no structure to
+                # traverse (levels=0, steps=0 — only base_ns accrues).
+                per_shard[shard_no] = BatchQueryStats(
+                    keys=q[positions],
+                    found=np.zeros(positions.size, dtype=bool),
+                    values=np.zeros(positions.size, dtype=np.int64),
+                    levels=np.zeros(positions.size, dtype=np.int64),
+                    search_steps=np.zeros(positions.size, dtype=np.int64),
+                )
+                continue
+            tasks.append((shard_no, (lambda s=shard, p=positions: s.lookup_many(q[p]))))
+        for shard_no, batch in self._map_shards(tasks).items():
+            per_shard[shard_no] = batch
+
+        for shard_no, batch in enumerate(per_shard):
+            if batch is None:
+                continue
+            lo, hi = int(offsets[shard_no]), int(offsets[shard_no + 1])
+            positions = order[lo:hi]
+            found[positions] = batch.found
+            values[positions] = batch.values
+            levels[positions] = batch.levels
+            steps[positions] = batch.search_steps
+
+        gathered = BatchQueryStats(
+            keys=q, found=found, values=values, levels=levels, search_steps=steps
+        )
+        return RoutedBatch(
+            gathered=gathered, shard_ids=shard_ids, per_shard=tuple(per_shard)
+        )
+
+    def insert_many(
+        self,
+        keys: np.ndarray | list,
+        values: np.ndarray | list | None = None,
+    ) -> np.ndarray:
+        """Routed batched inserts; returns the per-shard insert counts.
+
+        Within a shard the batch order is preserved (stable grouping),
+        so duplicate keys keep the sequential last-wins semantics.
+        Inserting into an empty shard builds it from the run's sorted,
+        deduplicated keys via the router's *build_factory*.
+        """
+        arr, vals = _as_batch_kv(keys, values)
+        __, order, offsets = self.group_by_shard(arr)
+        counts = np.zeros(self.n_shards, dtype=np.int64)
+        tasks = []
+        for shard_no in range(self.n_shards):
+            lo, hi = int(offsets[shard_no]), int(offsets[shard_no + 1])
+            if lo == hi:
+                continue
+            positions = order[lo:hi]
+            counts[shard_no] = positions.size
+            shard = self._shards[shard_no]
+            if shard is None:
+                self._shards[shard_no] = self._materialise(
+                    arr[positions], vals[positions]
+                )
+                continue
+            tasks.append(
+                (
+                    shard_no,
+                    (lambda s=shard, p=positions: s.insert_many(arr[p], vals[p])),
+                )
+            )
+        self._map_shards(tasks)
+        return counts
+
+    def _materialise(self, run_keys: np.ndarray, run_values: np.ndarray) -> LearnedIndex:
+        """Build an empty shard from its first insert run (last wins)."""
+        if self._build_factory is None:
+            raise IndexStateError(
+                "cannot insert into an empty shard without a build_factory"
+            )
+        return self._build_factory(*dedupe_last_wins(run_keys, run_values))
+
+    def range_query(self, low: int, high: int) -> list[tuple[int, int]]:
+        """Gathered range scan across every shard overlapping the range."""
+        low = int(low)
+        high = int(high)
+        if low > high:
+            return []
+        first = int(np.searchsorted(self._boundaries, low, side="right"))
+        last = int(np.searchsorted(self._boundaries, high, side="right"))
+        out: list[tuple[int, int]] = []
+        for shard_no in range(first, last + 1):
+            shard = self._shards[shard_no]
+            if shard is not None:
+                out.extend(shard.range_query(low, high))
+        return out
+
+    def iter_keys(self):
+        """Every stored key in ascending order (shards are disjoint ranges)."""
+        for shard in self._shards:
+            if shard is not None:
+                yield from shard.iter_keys()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def replace_shard(self, shard_no: int, index: LearnedIndex | None) -> None:
+        """Swap one shard's index (the service's merge path)."""
+        self._shards[int(shard_no)] = index
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for a serial router)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

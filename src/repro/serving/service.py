@@ -1,0 +1,662 @@
+"""`IndexService`: the cache-fronted, write-buffered serving facade.
+
+Read path (per batch, all vectorised):
+
+1. **Write buffers** — every shard's unmerged writes live in a
+   memtable consulted first; a buffered hit answers without touching
+   the shard (levels 0, one sorted-probe charge), and any query in a
+   shard with a non-empty buffer pays the failed memtable probe.
+2. **LRU block cache** — the key space is diced into fixed-span
+   blocks (``key >> block_bits``); a cached block answers membership
+   *and* misses for its span at levels 0 / 1 search step.  Uncached
+   blocks touched by the batch are filled read-through with one
+   ``range_query`` per block against the owning shard.
+3. **Scatter/gather** — everything still pending goes down the
+   :class:`~repro.serving.router.ShardRouter`.
+
+Write path: ``insert_many`` lands in the per-shard buffers (last
+write wins), invalidates the affected cache blocks, and when a
+shard's staleness ``buffered / stored`` crosses the threshold the
+buffer is merged into the shard and the shard is re-smoothed with its
+own α (CSV families) — synchronously by default, or on a background
+thread with ``background_merge=True``.
+
+With the cache off and no writes buffered the service is
+cost-transparent: a K=1 service is bit-identical to the bare index,
+and any-K gathers are bit-identical to per-key routing (the
+acceptance parity tests in ``tests/serving/``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..core.cost_model import CostConstants
+from ..core.csv_algorithm import CsvConfig, apply_csv
+from ..indexes import INDEX_FAMILIES, adapter_for
+from ..indexes.base import (
+    BatchQueryStats,
+    LearnedIndex,
+    _as_batch_kv,
+    _as_query_array,
+)
+from .partitioner import (
+    SMOOTHABLE_FAMILIES,
+    ShardPlan,
+    build_shard_indexes,
+    plan_shards,
+)
+from .router import ShardRouter, dedupe_last_wins
+
+__all__ = ["IndexService", "LatencyReport", "ServiceStats", "ShardLatency"]
+
+#: Families whose indexes accept ``insert`` (merge by insertion);
+#: static families are merged by rebuild instead.
+UPDATABLE_FAMILIES = ("sorted_array", "btree", "alex", "lipp", "sali")
+
+
+def _memtable_steps(n: int) -> int:
+    """Probe charge for one sorted-memtable search over *n* entries."""
+    return max(1, int(math.ceil(math.log2(n + 1))))
+
+
+#: Per-shard cap on retained latency samples; beyond it the stored
+#: samples are decimated 2:1 (uniformly, so percentiles stay unbiased)
+#: to bound a long-lived service's memory.
+LATENCY_SAMPLE_CAP = 262_144
+
+
+@dataclass
+class ServiceStats:
+    """Mutable operation counters of one service instance."""
+
+    n_lookups: int = 0
+    n_inserts: int = 0
+    buffer_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_fills: int = 0
+    merges: int = 0
+    merged_keys: int = 0
+    resmoothed_shards: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        probed = self.cache_hits + self.cache_misses
+        return self.cache_hits / probed if probed else 0.0
+
+
+@dataclass(frozen=True)
+class ShardLatency:
+    """Simulated-ns latency summary of one shard."""
+
+    shard: int
+    n_queries: int
+    avg_ns: float
+    p50_ns: float
+    p90_ns: float
+    p99_ns: float
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Per-shard and aggregate latency percentiles (simulated ns)."""
+
+    shards: tuple[ShardLatency, ...]
+    total: ShardLatency | None = None
+
+    def to_table(self) -> str:
+        """Render the report as an ASCII table (one row per shard)."""
+        from ..evaluation.reporting import ascii_table
+
+        rows = [
+            [
+                "all" if row.shard < 0 else row.shard,
+                row.n_queries,
+                f"{row.avg_ns:.0f}",
+                f"{row.p50_ns:.0f}",
+                f"{row.p90_ns:.0f}",
+                f"{row.p99_ns:.0f}",
+            ]
+            for row in (*self.shards, *((self.total,) if self.total else ()))
+        ]
+        return ascii_table(
+            ["shard", "queries", "avg ns", "p50", "p90", "p99"], rows
+        )
+
+
+def _latency_row(shard: int, ns: np.ndarray) -> ShardLatency:
+    return ShardLatency(
+        shard=shard,
+        n_queries=int(ns.size),
+        avg_ns=float(ns.mean()),
+        p50_ns=float(np.percentile(ns, 50)),
+        p90_ns=float(np.percentile(ns, 90)),
+        p99_ns=float(np.percentile(ns, 99)),
+    )
+
+
+@dataclass
+class _WriteBuffer:
+    """One shard's memtable: insertion dict + sorted-array view.
+
+    A lock serialises mutation against the background-merge thread;
+    merges work from a :meth:`snapshot` and afterwards
+    :meth:`drop_merged` only the entries the snapshot covered, so a
+    write landing mid-merge survives in the buffer instead of being
+    wiped by a blanket clear.
+    """
+
+    entries: dict[int, int] = field(default_factory=dict)
+    _sorted: tuple[np.ndarray, np.ndarray] | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def put_run(self, keys: np.ndarray, values: np.ndarray) -> None:
+        with self._lock:
+            self.entries.update(zip(keys.tolist(), values.tolist()))
+            self._sorted = None
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        with self._lock:
+            if self._sorted is None:
+                keys = np.fromiter(
+                    self.entries.keys(), dtype=np.int64, count=len(self.entries)
+                )
+                order = np.argsort(keys)
+                vals = np.fromiter(
+                    self.entries.values(), dtype=np.int64, count=len(self.entries)
+                )
+                self._sorted = (keys[order], vals[order])
+            return self._sorted
+
+    def snapshot(self) -> dict[int, int]:
+        with self._lock:
+            return dict(self.entries)
+
+    def drop_merged(self, merged: dict[int, int]) -> None:
+        with self._lock:
+            for key, value in merged.items():
+                if self.entries.get(key) == value:
+                    del self.entries[key]
+            self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class IndexService:
+    """Sharded, cache-fronted serving facade over one index family."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        family: str,
+        plan: ShardPlan,
+        constants: CostConstants | None = None,
+        cache_blocks: int = 0,
+        block_bits: int = 14,
+        staleness_threshold: float = 0.1,
+        background_merge: bool = False,
+    ):
+        self.router = router
+        self.family = family
+        self.plan = plan
+        self.constants = constants or CostConstants()
+        self.block_bits = int(block_bits)
+        self.cache_blocks = int(cache_blocks)
+        self.staleness_threshold = float(staleness_threshold)
+        self.stats = ServiceStats()
+        self._buffers = [_WriteBuffer() for _ in range(router.n_shards)]
+        #: (shard, block_id) -> (sorted keys, values) of the block span.
+        #: The lock serialises LRU mutation against the merge thread's
+        #: invalidations.
+        self._cache: OrderedDict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        #: Bumped (under the lock) whenever a merge invalidates a
+        #: shard; read-through fills started before the bump are
+        #: discarded instead of caching a pre-merge snapshot.
+        self._shard_epochs = [0] * router.n_shards
+        self._ns_samples: list[list[np.ndarray]] = [[] for _ in range(router.n_shards)]
+        self._ns_seen = [0] * router.n_shards
+        self._merge_pool = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="merge")
+            if background_merge
+            else None
+        )
+        self._merge_futures: list[Future] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        keys: np.ndarray | list,
+        family: str = "lipp",
+        n_shards: int = 4,
+        values: np.ndarray | list | None = None,
+        mode: str = "equi_depth",
+        alpha: float | Sequence[float] | str | None = None,
+        max_workers: int | None = None,
+        constants: CostConstants | None = None,
+        cache_blocks: int = 0,
+        block_bits: int = 14,
+        staleness_threshold: float = 0.1,
+        background_merge: bool = False,
+    ) -> "IndexService":
+        """Partition → smooth → build → route, in one call."""
+        consts = constants or CostConstants()
+        plan = plan_shards(
+            keys, n_shards, values=values, mode=mode, alpha=alpha, constants=consts
+        )
+        shards, __ = build_shard_indexes(plan, family, consts)
+        router = ShardRouter(
+            shards,
+            plan.boundaries,
+            max_workers=max_workers,
+            build_factory=INDEX_FAMILIES[family].build,
+        )
+        return cls(
+            router,
+            family,
+            plan,
+            constants=consts,
+            cache_blocks=cache_blocks,
+            block_bits=block_bits,
+            staleness_threshold=staleness_threshold,
+            background_merge=background_merge,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.router.n_shards
+
+    @property
+    def n_keys(self) -> int:
+        """Stored keys: merged shard contents plus net-new buffered keys."""
+        total = self.router.n_keys
+        for shard_no, buffer in enumerate(self._buffers):
+            if not len(buffer):
+                continue
+            shard = self.router.shards[shard_no]
+            if shard is None:
+                total += len(buffer)
+                continue
+            bkeys, __ = buffer.arrays()
+            batch = shard.lookup_many(bkeys)
+            total += int(np.count_nonzero(~batch.found))
+        return total
+
+    def size_bytes(self) -> int:
+        """Aggregate modelled storage footprint of the shard indexes."""
+        return self.router.size_bytes()
+
+    def buffered_counts(self) -> tuple[int, ...]:
+        """Unmerged write-buffer entries per shard."""
+        return tuple(len(b) for b in self._buffers)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def lookup_many(self, keys: np.ndarray | list) -> BatchQueryStats:
+        """Batched lookups through buffer → cache → shards."""
+        q = _as_query_array(keys)
+        m = int(q.size)
+        self.stats.n_lookups += m
+        shard_ids = self.router.shard_of(q)
+        found = np.zeros(m, dtype=bool)
+        values = np.zeros(m, dtype=np.int64)
+        levels = np.zeros(m, dtype=np.int64)
+        steps = np.zeros(m, dtype=np.int64)
+        extra_steps = np.zeros(m, dtype=np.int64)
+        pending = np.ones(m, dtype=bool)
+
+        # 1. Write-buffer overlay.
+        for shard_no, buffer in enumerate(self._buffers):
+            if not len(buffer):
+                continue
+            mask = pending & (shard_ids == shard_no)
+            if not np.any(mask):
+                continue
+            bkeys, bvals = buffer.arrays()
+            probe = _memtable_steps(len(buffer))
+            sub = q[mask]
+            pos = np.searchsorted(bkeys, sub)
+            hit = np.zeros(sub.size, dtype=bool)
+            in_range = pos < bkeys.size
+            hit[in_range] = bkeys[pos[in_range]] == sub[in_range]
+            idx = np.nonzero(mask)[0]
+            hit_idx = idx[hit]
+            found[hit_idx] = True
+            values[hit_idx] = bvals[pos[hit]]
+            steps[hit_idx] = probe
+            pending[hit_idx] = False
+            self.stats.buffer_hits += int(hit_idx.size)
+            # Buffer misses pay the failed memtable probe on top of
+            # whatever the cache/shard path charges.
+            extra_steps[idx[~hit]] += probe
+
+        # 2. LRU block cache.
+        if self.cache_blocks > 0 and np.any(pending):
+            self._cache_pass(q, shard_ids, pending, found, values, levels, steps)
+
+        # 3. Scatter/gather for the remainder.
+        if np.any(pending):
+            routed = self.router.lookup_many(q[pending])
+            idx = np.nonzero(pending)[0]
+            found[idx] = routed.gathered.found
+            values[idx] = routed.gathered.values
+            levels[idx] = routed.gathered.levels
+            steps[idx] = routed.gathered.search_steps
+            if self.cache_blocks > 0:
+                self._fill_blocks(q[pending], shard_ids[pending])
+
+        steps += extra_steps
+        batch = BatchQueryStats(
+            keys=q, found=found, values=values, levels=levels, search_steps=steps
+        )
+        self._record_latency(shard_ids, batch)
+        return batch
+
+    def lookup(self, key: int) -> int | None:
+        """Single-key convenience wrapper over :meth:`lookup_many`."""
+        batch = self.lookup_many(np.asarray([int(key)], dtype=np.int64))
+        return int(batch.values[0]) if batch.found[0] else None
+
+    def _cache_pass(
+        self,
+        q: np.ndarray,
+        shard_ids: np.ndarray,
+        pending: np.ndarray,
+        found: np.ndarray,
+        values: np.ndarray,
+        levels: np.ndarray,
+        steps: np.ndarray,
+    ) -> None:
+        """Serve every pending query whose block is cached (hits *and*
+        definite misses — a cached block covers its whole span).
+
+        Grouped by (shard, block) token: one cache probe and one
+        vectorised ``searchsorted`` per distinct block, not per query.
+        """
+        blocks = q >> self.block_bits
+        idx = np.nonzero(pending)[0]
+        # Group the pending queries by block token (order within a
+        # group is irrelevant: results go back positionally).  The
+        # composite is collision-free: shard ids live in [0, K).
+        tokens = blocks[idx] * np.int64(self.n_shards) + shard_ids[idx]
+        grouping = np.argsort(tokens, kind="stable")
+        starts = np.concatenate(
+            [[0], np.nonzero(np.diff(tokens[grouping]))[0] + 1, [idx.size]]
+        )
+        for lo, hi in zip(starts[:-1], starts[1:]):
+            group = idx[grouping[lo:hi]]
+            first = int(group[0])
+            token = (int(shard_ids[first]), int(blocks[first]))
+            with self._cache_lock:
+                entry = self._cache.get(token)
+                if entry is not None:
+                    self._cache.move_to_end(token)
+            if entry is None:
+                self.stats.cache_misses += int(group.size)
+                continue
+            ckeys, cvals = entry
+            sub = q[group]
+            pos = np.searchsorted(ckeys, sub)
+            hit = np.zeros(sub.size, dtype=bool)
+            in_range = pos < ckeys.size
+            hit[in_range] = ckeys[pos[in_range]] == sub[in_range]
+            found[group] = hit
+            values[group[hit]] = cvals[pos[hit]]
+            levels[group] = 0
+            steps[group] = 1
+            pending[group] = False
+            self.stats.cache_hits += int(group.size)
+
+    def _fill_blocks(self, q: np.ndarray, shard_ids: np.ndarray) -> None:
+        """Read-through fill of the uncached blocks a batch touched.
+
+        At most ``cache_blocks`` fills per batch, hottest blocks (most
+        queries in this batch) first — filling every distinct block of
+        a wide batch would evict each fill before it could ever be hit
+        and pay one ``range_query`` per query for nothing.
+        """
+        blocks = q >> self.block_bits
+        span = np.int64(1) << self.block_bits
+        touch_counts: dict[tuple[int, int], int] = {}
+        for s, b in zip(shard_ids.tolist(), blocks.tolist()):
+            token = (int(s), int(b))
+            touch_counts[token] = touch_counts.get(token, 0) + 1
+        hottest = sorted(touch_counts, key=lambda t: (-touch_counts[t], t))
+        for token in hottest[: self.cache_blocks]:
+            shard_no, block_id = token
+            with self._cache_lock:
+                if token in self._cache:
+                    continue
+                epoch = self._shard_epochs[shard_no]
+            shard = self.router.shards[shard_no]
+            low = int(block_id * span)
+            high = int(low + span - 1)
+            pairs = [] if shard is None else shard.range_query(low, high)
+            ckeys = np.asarray([p[0] for p in pairs], dtype=np.int64)
+            cvals = np.asarray([p[1] for p in pairs], dtype=np.int64)
+            with self._cache_lock:
+                if self._shard_epochs[shard_no] != epoch:
+                    continue  # a merge landed mid-scan; block is stale
+                self._cache[token] = (ckeys, cvals)
+                self._cache.move_to_end(token)
+                while len(self._cache) > self.cache_blocks:
+                    self._cache.popitem(last=False)
+            self.stats.cache_fills += 1
+
+    def _invalidate_blocks(self, keys: np.ndarray, shard_ids: np.ndarray) -> None:
+        blocks = keys >> self.block_bits
+        tokens = {(int(s), int(b)) for s, b in zip(shard_ids.tolist(), blocks.tolist())}
+        with self._cache_lock:
+            for token in tokens:
+                self._cache.pop(token, None)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def insert_many(
+        self,
+        keys: np.ndarray | list,
+        values: np.ndarray | list | None = None,
+    ) -> None:
+        """Absorb a write batch into the per-shard buffers.
+
+        Buffered writes are immediately visible to reads (the overlay
+        in :meth:`lookup_many`); shards whose staleness crosses the
+        threshold are merged + re-smoothed.
+        """
+        arr, vals = _as_batch_kv(keys, values)
+        if arr.size == 0:
+            return
+        self.stats.n_inserts += int(arr.size)
+        shard_ids, order, offsets = self.router.group_by_shard(arr)
+        if self.cache_blocks > 0:
+            self._invalidate_blocks(arr, shard_ids)
+        for shard_no in range(self.n_shards):
+            lo, hi = int(offsets[shard_no]), int(offsets[shard_no + 1])
+            if lo == hi:
+                continue
+            run = order[lo:hi]
+            self._buffers[shard_no].put_run(arr[run], vals[run])
+            if self._staleness(shard_no) > self.staleness_threshold:
+                self._schedule_merge(shard_no)
+
+    def _staleness(self, shard_no: int) -> float:
+        buffered = len(self._buffers[shard_no])
+        shard = self.router.shards[shard_no]
+        stored = shard.n_keys if shard is not None else 0
+        return buffered / max(stored, 1)
+
+    def _schedule_merge(self, shard_no: int) -> None:
+        if self._merge_pool is None:
+            self._merge_shard(shard_no)
+        else:
+            self._merge_futures.append(
+                self._merge_pool.submit(self._merge_shard, shard_no)
+            )
+
+    def _merge_shard(self, shard_no: int) -> None:
+        """Merge one shard's buffer into its index and re-smooth.
+
+        Synchronous merges on updatable families absorb the buffer
+        in-place through ``insert_many``; static families (pgm, rmi)
+        — and *every* background merge — rebuild a fresh index from
+        the merged key set and atomically swap it in, so concurrent
+        readers only ever traverse a fully built structure (they see
+        the old shard plus the still-buffered writes until the swap).
+        CSV families with a per-shard α are re-smoothed afterwards —
+        the background counterpart of the paper's one-shot
+        preprocessing.
+        """
+        buffer = self._buffers[shard_no]
+        merged_entries = buffer.snapshot()
+        if not merged_entries:
+            return
+        bkeys = np.asarray(sorted(merged_entries), dtype=np.int64)
+        bvals = np.asarray([merged_entries[k] for k in bkeys.tolist()], dtype=np.int64)
+        shard = self.router.shards[shard_no]
+        cls = INDEX_FAMILIES[self.family]
+        in_place = (
+            shard is not None
+            and self.family in UPDATABLE_FAMILIES
+            and self._merge_pool is None
+        )
+        if shard is None:
+            merged = cls.build(bkeys, bvals)
+        elif in_place:
+            shard.insert_many(bkeys, bvals)
+            merged = shard
+        else:
+            # One ordered scan recovers the stored pairs — cheaper
+            # than probing the index once per stored key.
+            bounds = np.iinfo(np.int64)
+            pairs = shard.range_query(int(bounds.min), int(bounds.max))
+            old_keys = np.fromiter(
+                (p[0] for p in pairs), dtype=np.int64, count=len(pairs)
+            )
+            old_vals = np.fromiter(
+                (p[1] for p in pairs), dtype=np.int64, count=len(pairs)
+            )
+            merged = cls.build(
+                *dedupe_last_wins(
+                    np.concatenate([old_keys, bkeys]),
+                    np.concatenate([old_vals, bvals]),
+                )
+            )
+        alpha = (
+            self.plan.alphas[shard_no]
+            if shard_no < len(self.plan.alphas)
+            else None
+        )
+        if alpha is not None and alpha > 0.0 and self.family in SMOOTHABLE_FAMILIES:
+            apply_csv(adapter_for(merged, self.constants), CsvConfig(alpha=alpha))
+            self.stats.resmoothed_shards += 1
+        self.router.replace_shard(shard_no, merged)
+        if self.cache_blocks > 0:
+            with self._cache_lock:
+                self._shard_epochs[shard_no] += 1
+                for token in [t for t in self._cache if t[0] == shard_no]:
+                    self._cache.pop(token, None)
+        self.stats.merges += 1
+        self.stats.merged_keys += len(merged_entries)
+        # Drop exactly what was merged: writes that landed mid-merge
+        # stay buffered for the next one.
+        buffer.drop_merged(merged_entries)
+
+    def flush(self) -> None:
+        """Merge every non-empty buffer now (and wait for background merges)."""
+        self.drain()
+        for shard_no, buffer in enumerate(self._buffers):
+            if len(buffer):
+                self._merge_shard(shard_no)
+
+    def drain(self) -> None:
+        """Wait for all scheduled background merges."""
+        for future in self._merge_futures:
+            future.result()
+        self._merge_futures = []
+
+    # ------------------------------------------------------------------
+    # Range path
+    # ------------------------------------------------------------------
+    def range_query(self, low: int, high: int) -> list[tuple[int, int]]:
+        """Gathered range scan, overlaid with in-range buffered writes."""
+        merged = dict(self.router.range_query(low, high))
+        for buffer in self._buffers:
+            if not len(buffer):
+                continue
+            bkeys, bvals = buffer.arrays()
+            lo = int(np.searchsorted(bkeys, int(low), side="left"))
+            hi = int(np.searchsorted(bkeys, int(high), side="right"))
+            merged.update(zip(bkeys[lo:hi].tolist(), bvals[lo:hi].tolist()))
+        return sorted(merged.items())
+
+    # ------------------------------------------------------------------
+    # Latency accounting
+    # ------------------------------------------------------------------
+    def _record_latency(self, shard_ids: np.ndarray, batch: BatchQueryStats) -> None:
+        ns = batch.simulated_ns(self.constants)
+        for shard_no in np.unique(shard_ids).tolist():
+            sample = ns[shard_ids == shard_no]
+            self._ns_samples[shard_no].append(sample)
+            self._ns_seen[shard_no] += int(sample.size)
+            stored = sum(s.size for s in self._ns_samples[shard_no])
+            if stored > LATENCY_SAMPLE_CAP:
+                self._ns_samples[shard_no] = [
+                    np.concatenate(self._ns_samples[shard_no])[::2]
+                ]
+
+    def latency_report(self) -> LatencyReport:
+        """Per-shard p50/p90/p99/avg of the simulated lookup latencies.
+
+        ``n_queries`` counts every query served; the percentiles are
+        computed from the retained samples (decimated 2:1 beyond
+        :data:`LATENCY_SAMPLE_CAP` per shard).
+        """
+        rows = []
+        all_ns = []
+        total_seen = 0
+        for shard_no, samples in enumerate(self._ns_samples):
+            if not samples:
+                continue
+            ns = np.concatenate(samples)
+            all_ns.append(ns)
+            total_seen += self._ns_seen[shard_no]
+            row = _latency_row(shard_no, ns)
+            rows.append(replace(row, n_queries=self._ns_seen[shard_no]))
+        if not all_ns:
+            return LatencyReport(shards=(), total=None)
+        total = replace(_latency_row(-1, np.concatenate(all_ns)), n_queries=total_seen)
+        return LatencyReport(shards=tuple(rows), total=total)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Finish background merges and shut down the thread pools."""
+        self.drain()
+        if self._merge_pool is not None:
+            self._merge_pool.shutdown(wait=True)
+            self._merge_pool = None
+        self.router.close()
+
+    def __enter__(self) -> "IndexService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,18 +1,36 @@
-"""Range-query tests for LIPP, ALEX, SALI and the B+-tree oracle."""
+"""Cross-backend range-query parity tests.
+
+Every index family answers ``range_query`` (the base class provides a
+generic ordered-walk default; the array-backed and tree backends
+override it with direct scans), and all of them must agree with the
+brute-force oracle — the serving layer's block cache and range path
+sit on this contract.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.indexes import AlexIndex, BPlusTree, LippIndex, SaliIndex
+from repro.indexes import (
+    INDEX_FAMILIES,
+    AlexIndex,
+    BPlusTree,
+    LippIndex,
+    SaliIndex,
+    SortedArrayIndex,
+)
+from repro.indexes.base import LearnedIndex
+
+ALL_BACKENDS = sorted(INDEX_FAMILIES.values(), key=lambda cls: cls.name)
+UPDATABLE_BACKENDS = [SortedArrayIndex, BPlusTree, AlexIndex, LippIndex, SaliIndex]
 
 
 def oracle(keys: np.ndarray, low: int, high: int) -> list[tuple[int, int]]:
     return [(int(k), int(k)) for k in keys if low <= k <= high]
 
 
-@pytest.mark.parametrize("cls", [LippIndex, AlexIndex, SaliIndex, BPlusTree])
+@pytest.mark.parametrize("cls", ALL_BACKENDS, ids=lambda c: c.name)
 class TestRangeQueries:
     def test_interior_range(self, cls, clustered_keys):
         index = cls.build(clustered_keys)
@@ -39,11 +57,13 @@ class TestRangeQueries:
         high = int(small_keys[10]) - 1
         assert index.range_query(low, high) == oracle(small_keys, low, high)
 
+
+@pytest.mark.parametrize("cls", UPDATABLE_BACKENDS, ids=lambda c: c.name)
+class TestRangeAfterInserts:
     def test_range_after_inserts(self, cls, small_keys, rng):
         index = cls.build(small_keys)
         new = np.setdiff1d(np.unique(rng.integers(0, 10**8, 200)), small_keys)
-        for key in new.tolist():
-            index.insert(int(key), int(key))
+        index.insert_many(new)
         combined = np.sort(np.concatenate([small_keys, new]))
         low, high = int(combined[20]), int(combined[-20])
         assert index.range_query(low, high) == oracle(combined, low, high)
@@ -59,3 +79,67 @@ class TestRangeAfterCsv:
         apply_csv(adapter_for(index), CsvConfig(alpha=0.1))
         low, high = int(clustered_keys[50]), int(clustered_keys[700])
         assert index.range_query(low, high) == oracle(clustered_keys, low, high)
+
+
+class TestSaliFlattenedRange:
+    def test_range_spans_flattened_subtrees(self, clustered_keys, rng):
+        index = SaliIndex.build(clustered_keys)
+        # Heat a slice of the key space so a subtree flattens.
+        hot = rng.choice(clustered_keys[:800], 3000)
+        index.lookup_many(hot)
+        flattened = index.flatten_hot_subtrees(min_probability=0.01)
+        assert flattened > 0
+        low, high = int(clustered_keys[50]), int(clustered_keys[-50])
+        assert index.range_query(low, high) == oracle(clustered_keys, low, high)
+
+
+class TestBaseClassDefault:
+    def test_generic_walk_default(self, small_keys):
+        """A backend that only implements the abstract core still
+        answers ranges through the base-class iter_keys walk."""
+
+        class Minimal(LearnedIndex):
+            name = "minimal"
+
+            def __init__(self, keys):
+                self._store = {int(k): int(k) * 2 for k in keys}
+
+            @classmethod
+            def build(cls, keys, values=None):
+                return cls(keys)
+
+            def insert(self, key, value):
+                self._store[int(key)] = int(value)
+
+            def lookup_stats(self, key):
+                from repro.indexes.base import QueryStats
+
+                found = int(key) in self._store
+                return QueryStats(
+                    key=int(key), found=found,
+                    value=self._store.get(int(key)), levels=1, search_steps=0,
+                )
+
+            @property
+            def n_keys(self):
+                return len(self._store)
+
+            def height(self):
+                return 1
+
+            def node_count(self):
+                return 1
+
+            def size_bytes(self):
+                return 0
+
+            def key_level(self, key):
+                return 1
+
+            def iter_keys(self):
+                yield from sorted(self._store)
+
+        index = Minimal.build(small_keys)
+        low, high = int(small_keys[3]), int(small_keys[20])
+        expected = [(int(k), int(k) * 2) for k in small_keys if low <= k <= high]
+        assert index.range_query(low, high) == expected

@@ -1,0 +1,155 @@
+"""Shard planning: boundary choice, cost balancing, per-shard α."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidKeysError
+from repro.serving import (
+    ShardPlan,
+    auto_alphas,
+    build_shard_indexes,
+    plan_shards,
+    predicted_shard_cost,
+)
+
+
+def skewed_keys(rng: np.random.Generator) -> np.ndarray:
+    """A hard/easy composite: one dense lognormal cluster + a uniform tail."""
+    return np.unique(
+        np.concatenate(
+            [
+                (10**6 + rng.lognormal(8, 2.0, 3000)).astype(np.int64),
+                rng.integers(10**8, 10**10, 1500),
+            ]
+        )
+    )
+
+
+class TestPlanShards:
+    def test_equi_depth_balances_counts(self, rng):
+        keys = np.unique(rng.integers(0, 10**8, 4000))
+        plan = plan_shards(keys, 8)
+        sizes = [s.size for s in plan.shard_keys]
+        assert sum(sizes) == keys.size
+        assert max(sizes) - min(sizes) <= 1
+        assert plan.boundaries.size == 7
+
+    def test_shards_partition_the_keys_in_order(self, rng):
+        keys = np.unique(rng.integers(0, 10**8, 3000))
+        plan = plan_shards(keys, 5)
+        reassembled = np.concatenate(plan.shard_keys)
+        assert np.array_equal(reassembled, keys)
+        # Every key routes to the shard slice that holds it.
+        ids = plan.shard_of(keys)
+        expected = np.repeat(
+            np.arange(plan.n_shards), [s.size for s in plan.shard_keys]
+        )
+        assert np.array_equal(ids, expected)
+
+    def test_k1_has_no_boundaries(self, rng):
+        keys = np.unique(rng.integers(0, 10**6, 500))
+        plan = plan_shards(keys, 1)
+        assert plan.boundaries.size == 0
+        assert plan.n_shards == 1
+        assert np.array_equal(plan.shard_keys[0], keys)
+
+    def test_more_shards_than_keys_yields_empty_shards(self):
+        keys = np.asarray([10, 20, 30], dtype=np.int64)
+        plan = plan_shards(keys, 8)
+        assert plan.n_shards == 8
+        assert plan.n_keys == 3
+        assert sum(1 for s in plan.shard_keys if s.size == 0) == 5
+        assert np.array_equal(np.concatenate(plan.shard_keys), keys)
+
+    def test_cost_balanced_reduces_imbalance_on_skewed_data(self, rng):
+        keys = skewed_keys(rng)
+        equi = plan_shards(keys, 6, mode="equi_depth")
+        balanced = plan_shards(keys, 6, mode="cost_balanced")
+        assert balanced.cost_imbalance() <= equi.cost_imbalance()
+        assert np.array_equal(np.concatenate(balanced.shard_keys), keys)
+
+    def test_rejects_bad_inputs(self, rng):
+        keys = np.unique(rng.integers(0, 10**6, 100))
+        with pytest.raises(InvalidKeysError):
+            plan_shards(keys, 0)
+        with pytest.raises(InvalidKeysError):
+            plan_shards(keys, 4, mode="round_robin")
+        with pytest.raises(InvalidKeysError):
+            plan_shards(keys, 4, alpha=[0.1, 0.2])  # wrong length
+        with pytest.raises(InvalidKeysError):
+            plan_shards(keys, 4, alpha="automatic")
+
+
+class TestAlphas:
+    def test_scalar_alpha_broadcasts(self, rng):
+        keys = np.unique(rng.integers(0, 10**7, 1000))
+        plan = plan_shards(keys, 4, alpha=0.2)
+        assert plan.alphas == (0.2, 0.2, 0.2, 0.2)
+
+    def test_none_alpha(self, rng):
+        keys = np.unique(rng.integers(0, 10**7, 1000))
+        assert plan_shards(keys, 3).alphas == (None, None, None)
+
+    def test_auto_alpha_spends_more_on_harder_shards(self, rng):
+        keys = skewed_keys(rng)
+        plan = plan_shards(keys, 4, mode="equi_depth", alpha="auto:0.1")
+        costs = np.asarray(plan.predicted_costs)
+        alphas = np.asarray(plan.alphas, dtype=np.float64)
+        assert np.argmax(alphas) == np.argmax(costs)
+        # The aggregate budget stays near the base (mean-normalised).
+        assert abs(float(alphas.mean()) - 0.1) < 0.05
+
+    def test_auto_alphas_helper_normalises(self):
+        alphas = auto_alphas([1.0, 3.0], 0.2)
+        assert alphas[1] > alphas[0]
+        assert alphas == (pytest.approx(0.1), pytest.approx(0.3))
+
+
+class TestPredictedCost:
+    def test_empty_and_tiny_shards(self):
+        assert predicted_shard_cost(np.empty(0, dtype=np.int64)) == 0.0
+        assert predicted_shard_cost(np.asarray([5], dtype=np.int64)) > 0.0
+
+    def test_harder_region_costs_more(self, rng):
+        easy = np.arange(0, 2000, 2, dtype=np.int64)  # perfectly linear
+        hard = np.unique((rng.lognormal(10, 2.5, 1000)).astype(np.int64))
+        hard = hard[: easy.size]
+        assert predicted_shard_cost(hard) > predicted_shard_cost(easy)
+
+
+class TestBuildShardIndexes:
+    def test_builds_every_nonempty_shard(self, rng):
+        keys = np.unique(rng.integers(0, 10**7, 2000))
+        plan = plan_shards(keys, 4)
+        shards, reports = build_shard_indexes(plan, "btree")
+        assert all(s is not None for s in shards)
+        assert sum(s.n_keys for s in shards) == keys.size
+        assert reports == [None, None, None, None]
+
+    def test_empty_shards_build_to_none(self):
+        plan = plan_shards(np.asarray([1, 2, 3], dtype=np.int64), 6)
+        shards, __ = build_shard_indexes(plan, "sorted_array")
+        assert sum(1 for s in shards if s is None) == 3
+
+    def test_per_shard_smoothing_reports(self, rng):
+        keys = np.unique(rng.integers(0, 10**7, 2000))
+        plan = plan_shards(keys, 4, alpha=0.1)
+        shards, reports = build_shard_indexes(plan, "lipp")
+        assert all(r is not None for r in reports)
+        # Non-smoothable families ignore alpha.
+        __, none_reports = build_shard_indexes(plan, "pgm")
+        assert none_reports == [None] * 4
+
+    def test_unknown_family_rejected(self, rng):
+        keys = np.unique(rng.integers(0, 10**6, 100))
+        with pytest.raises(InvalidKeysError):
+            build_shard_indexes(plan_shards(keys, 2), "fractal")
+
+    def test_plan_is_a_dataclass_with_metrics(self, rng):
+        keys = np.unique(rng.integers(0, 10**7, 1000))
+        plan = plan_shards(keys, 4)
+        assert isinstance(plan, ShardPlan)
+        assert len(plan.predicted_costs) == 4
+        assert plan.cost_imbalance() >= 1.0

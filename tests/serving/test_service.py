@@ -1,0 +1,268 @@
+"""IndexService: the acceptance parity suite plus cache/buffer/merge.
+
+The load-bearing guarantees (ISSUE 2 acceptance criteria):
+
+* For every backend, a K≥4 service — threads on and off — returns
+  batch results whose per-query entries match the per-key semantics
+  of its shards exactly, whose found/values (and therefore hit rate)
+  match a single index built on the same keys, and whose per-shard
+  simulated-ns sums re-aggregate to the gathered total.
+* A K=1 service with the cache off is bit-identical to the bare index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.indexes import INDEX_FAMILIES
+from repro.serving import IndexService
+
+ALL_FAMILIES = sorted(INDEX_FAMILIES)
+
+
+def service_fixture(rng, family, **kwargs):
+    keys = np.unique(rng.integers(0, 10**7, 1500))
+    queries = np.concatenate(
+        [rng.choice(keys, 600), rng.integers(0, 10**7, 150)]  # hits + misses
+    )
+    service = IndexService.build(keys, family=family, **kwargs)
+    return keys, queries, service
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+@pytest.mark.parametrize("threads", [None, 4], ids=["serial", "threaded"])
+class TestScatterGatherParity:
+    def test_matches_monolithic_and_per_key(self, rng, family, threads):
+        keys, queries, service = service_fixture(
+            rng, family, n_shards=4, max_workers=threads
+        )
+        with service:
+            mono = INDEX_FAMILIES[family].build(keys)
+            reference = mono.lookup_many(queries)
+            batch = service.lookup_many(queries)
+
+            # Correctness: same answers as the monolithic index.
+            assert np.array_equal(batch.found, reference.found)
+            assert np.array_equal(batch.values, reference.values)
+            assert batch.hit_rate == reference.hit_rate
+
+            # Cost: every entry matches per-key lookups on the shard
+            # that served it (scatter/gather adds no distortion).
+            shard_ids = service.router.shard_of(queries)
+            for i in range(0, queries.size, 13):
+                shard = service.router.shards[int(shard_ids[i])]
+                stat = shard.lookup_stats(int(queries[i]))
+                assert stat.found == bool(batch.found[i])
+                assert stat.levels == int(batch.levels[i])
+                assert stat.search_steps == int(batch.search_steps[i])
+
+    def test_per_shard_ns_sums_to_total(self, rng, family, threads):
+        keys, queries, service = service_fixture(
+            rng, family, n_shards=4, max_workers=threads
+        )
+        with service:
+            routed = service.router.lookup_many(queries)
+            per_shard_total = sum(
+                float(b.simulated_ns(service.constants).sum())
+                for b in routed.per_shard
+                if b is not None
+            )
+            gathered_total = float(
+                routed.gathered.simulated_ns(service.constants).sum()
+            )
+            assert per_shard_total == pytest.approx(gathered_total)
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_k1_service_is_bit_identical_to_bare_index(rng, family):
+    keys, queries, service = service_fixture(rng, family, n_shards=1)
+    with service:
+        bare = INDEX_FAMILIES[family].build(keys)
+        reference = bare.lookup_many(queries)
+        batch = service.lookup_many(queries)
+        for field in ("keys", "found", "values", "levels", "search_steps"):
+            assert np.array_equal(getattr(batch, field), getattr(reference, field))
+
+
+class TestWriteBuffer:
+    def test_buffered_writes_visible_to_reads(self, rng):
+        keys, __, service = service_fixture(
+            rng, "lipp", n_shards=4, staleness_threshold=10.0
+        )
+        fresh = np.asarray([10**8 + i for i in range(20)], dtype=np.int64)
+        service.insert_many(fresh, fresh + 1)
+        assert sum(service.buffered_counts()) == 20
+        assert service.stats.merges == 0
+        got = service.lookup_many(fresh)
+        assert got.found.all()
+        assert np.array_equal(got.values, fresh + 1)
+        # Buffered hits are memtable answers: no shard traversal.
+        assert (got.levels == 0).all()
+        assert service.stats.buffer_hits == 20
+
+    def test_buffer_update_overrides_stored_value(self, rng):
+        keys, __, service = service_fixture(
+            rng, "btree", n_shards=4, staleness_threshold=10.0
+        )
+        target = int(keys[42])
+        service.insert_many(np.asarray([target]), np.asarray([999]))
+        assert service.lookup(target) == 999
+        service.flush()
+        assert service.lookup(target) == 999
+
+    def test_staleness_triggers_merge_and_resmooth(self, rng):
+        keys, __, service = service_fixture(
+            rng, "lipp", n_shards=4, staleness_threshold=0.01, alpha=0.1
+        )
+        span = int(keys[-1])
+        fresh = np.unique(rng.integers(0, span, 200))
+        fresh = np.setdiff1d(fresh, keys)
+        service.insert_many(fresh)
+        assert service.stats.merges > 0
+        assert service.stats.resmoothed_shards > 0
+        assert service.lookup_many(fresh).found.all()
+
+    def test_flush_merges_everything(self, rng):
+        keys, __, service = service_fixture(
+            rng, "sorted_array", n_shards=4, staleness_threshold=10.0
+        )
+        fresh = np.unique(rng.integers(0, 10**7, 100))
+        fresh = np.setdiff1d(fresh, keys)
+        service.insert_many(fresh)
+        service.flush()
+        assert service.buffered_counts() == (0, 0, 0, 0)
+        got = service.lookup_many(fresh)
+        assert got.found.all()
+        # Post-merge reads come from the shards again.
+        assert (got.levels >= 1).all()
+
+    @pytest.mark.parametrize("family", ["pgm", "rmi"])
+    def test_static_families_merge_by_rebuild(self, rng, family):
+        keys, __, service = service_fixture(
+            rng, family, n_shards=4, staleness_threshold=10.0
+        )
+        fresh = np.setdiff1d(np.unique(rng.integers(0, 10**7, 50)), keys)
+        service.insert_many(fresh, fresh + 7)
+        service.flush()
+        assert service.stats.merges > 0
+        got = service.lookup_many(fresh)
+        assert got.found.all()
+        assert np.array_equal(got.values, fresh + 7)
+        # Old keys survived the rebuild.
+        assert service.lookup_many(keys[:50]).found.all()
+
+    def test_writes_landing_mid_merge_survive(self):
+        """The merge path drops exactly its snapshot: entries added or
+        rewritten after the snapshot stay buffered."""
+        from repro.serving.service import _WriteBuffer
+
+        buffer = _WriteBuffer()
+        buffer.put_run(
+            np.asarray([1, 2], dtype=np.int64), np.asarray([10, 20], dtype=np.int64)
+        )
+        snapshot = buffer.snapshot()
+        # A concurrent writer lands a fresh key and rewrites key 2.
+        buffer.put_run(
+            np.asarray([3, 2], dtype=np.int64), np.asarray([30, 22], dtype=np.int64)
+        )
+        buffer.drop_merged(snapshot)
+        assert buffer.entries == {3: 30, 2: 22}
+
+    def test_background_merge_drains(self, rng):
+        keys, __, service = service_fixture(
+            rng, "btree", n_shards=4, staleness_threshold=0.01,
+            background_merge=True,
+        )
+        with service:
+            fresh = np.setdiff1d(np.unique(rng.integers(0, 10**7, 300)), keys)
+            service.insert_many(fresh)
+            service.drain()
+            assert service.stats.merges > 0
+            assert service.lookup_many(fresh).found.all()
+
+
+class TestBlockCache:
+    def test_cache_serves_identical_answers(self, rng):
+        keys, queries, service = service_fixture(
+            rng, "btree", n_shards=4, cache_blocks=256
+        )
+        cold = service.lookup_many(queries)
+        warm = service.lookup_many(queries)
+        assert np.array_equal(cold.found, warm.found)
+        assert np.array_equal(cold.values, warm.values)
+        assert service.stats.cache_hits > 0
+        # Cached answers skip traversal entirely.
+        assert (warm.levels[warm.found] == 0).any() or service.stats.cache_hits == 0
+
+    def test_cache_capacity_is_bounded(self, rng):
+        keys, queries, service = service_fixture(
+            rng, "sorted_array", n_shards=4, cache_blocks=4
+        )
+        service.lookup_many(queries)
+        assert len(service._cache) <= 4
+
+    def test_insert_invalidates_affected_blocks(self, rng):
+        keys, __, service = service_fixture(
+            rng, "sorted_array", n_shards=2, cache_blocks=64,
+            staleness_threshold=10.0,
+        )
+        target = int(keys[10])
+        service.lookup_many(np.asarray([target]))          # fill the block
+        service.lookup_many(np.asarray([target]))          # hit it
+        hits_before = service.stats.cache_hits
+        assert hits_before > 0
+        service.insert_many(np.asarray([target]), np.asarray([123]))
+        assert service.lookup(target) == 123               # buffer wins
+        service.flush()
+        assert service.lookup(target) == 123               # not a stale block
+
+    def test_hit_rate_counter(self, rng):
+        keys, queries, service = service_fixture(
+            rng, "sorted_array", n_shards=2, cache_blocks=256
+        )
+        service.lookup_many(queries)
+        service.lookup_many(queries)
+        assert 0.0 < service.stats.cache_hit_rate <= 1.0
+
+
+class TestServiceRangeAndReporting:
+    def test_range_query_includes_buffered_writes(self, rng):
+        keys, __, service = service_fixture(
+            rng, "btree", n_shards=4, staleness_threshold=10.0
+        )
+        low, high = int(keys[100]), int(keys[900])
+        inside = (low + high) // 2
+        if inside in keys:
+            inside += 1
+        service.insert_many(np.asarray([inside]), np.asarray([-5]))
+        got = service.range_query(low, high)
+        expected = sorted(
+            {int(k): int(k) for k in keys if low <= k <= high} | {inside: -5}
+        )
+        assert [k for k, __ in got] == expected
+        assert dict(got)[inside] == -5
+
+    def test_latency_report_percentiles(self, rng):
+        keys, queries, service = service_fixture(rng, "lipp", n_shards=4)
+        service.lookup_many(queries)
+        report = service.latency_report()
+        assert 1 <= len(report.shards) <= 4
+        for row in report.shards:
+            assert row.p50_ns <= row.p90_ns <= row.p99_ns
+            assert row.n_queries > 0
+        assert report.total is not None
+        assert report.total.n_queries == queries.size
+        table = report.to_table()
+        assert "p99" in table and "shard" in table
+
+    def test_n_keys_counts_net_new_buffered(self, rng):
+        keys, __, service = service_fixture(
+            rng, "sorted_array", n_shards=2, staleness_threshold=10.0
+        )
+        base = service.n_keys
+        assert base == keys.size
+        existing = keys[:5]
+        fresh = np.asarray([10**9, 10**9 + 1], dtype=np.int64)
+        service.insert_many(np.concatenate([existing, fresh]))
+        assert service.n_keys == base + 2

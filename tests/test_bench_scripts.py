@@ -64,3 +64,30 @@ def test_perf_regression_quick_smoke(tmp_path):
     for row in report["lookups"].values():
         assert row["batch_lookups_per_s"] > 0
     assert set(report["inserts"]) == {"sorted_array", "btree", "alex", "lipp", "sali"}
+
+
+@pytest.mark.slow
+def test_bench_serving_quick_smoke(tmp_path):
+    """End-to-end --quick serving bench: shard-scaling rows recorded,
+    merged into (not clobbering) an existing BENCH_perf.json."""
+    out = tmp_path / "BENCH_perf.json"
+    out.write_text(json.dumps({"smoothing": {"sentinel": True}}))
+    proc = subprocess.run(
+        [sys.executable, str(BENCH_DIR / "bench_serving.py"), "--quick", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(out.read_text())
+    assert report["smoothing"] == {"sentinel": True}  # merge, not overwrite
+    serving = report["serving"]
+    assert serving["config"]["quick"] is True
+    for family in ("lipp", "btree", "pgm"):
+        sweep = serving["scaling"][family]
+        assert set(sweep) == {"K1", "K2", "K4", "K8"}
+        for row in sweep.values():
+            assert row["lookups_per_s"] > 0
+            assert row["threaded_lookups_per_s"] > 0
+            assert row["mixed_ops_per_s"] > 0

@@ -1,0 +1,80 @@
+"""Mixed read/write service workload driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidKeysError
+from repro.serving import IndexService
+from repro.workloads import run_service_workload
+
+
+@pytest.fixture()
+def service(rng):
+    keys = np.unique(rng.integers(0, 10**7, 1200))
+    svc = IndexService.build(keys, family="sorted_array", n_shards=4)
+    yield keys, svc
+    svc.close()
+
+
+class TestServiceWorkload:
+    def test_mixed_workload_end_to_end(self, service):
+        keys, svc = service
+        report = run_service_workload(
+            svc, keys, n_ops=2_000, read_fraction=0.8, batch_size=500, seed=1
+        )
+        assert report.n_ops == 2_000
+        assert report.n_reads + report.n_writes == 2_000
+        assert report.n_batches == 4
+        # Reads sample stored or previously written keys: all hits.
+        assert report.read_hit_rate == 1.0
+        assert report.ops_per_second > 0
+        assert svc.stats.n_lookups == report.n_reads
+        assert svc.stats.n_inserts == report.n_writes
+
+    def test_read_only_and_write_only(self, service):
+        keys, svc = service
+        reads = run_service_workload(svc, keys, n_ops=500, read_fraction=1.0)
+        assert reads.n_writes == 0 and reads.n_reads == 500
+        writes = run_service_workload(svc, keys, n_ops=200, read_fraction=0.0)
+        assert writes.n_reads == 0 and writes.n_writes == 200
+        assert writes.avg_simulated_ns == 0.0
+
+    def test_zipf_distribution(self, service):
+        keys, svc = service
+        report = run_service_workload(
+            svc, keys, n_ops=1_000, distribution="zipf", seed=3
+        )
+        assert report.read_hit_rate == 1.0
+
+    def test_invalid_parameters(self, service):
+        keys, svc = service
+        with pytest.raises(InvalidKeysError):
+            run_service_workload(svc, keys, n_ops=100, read_fraction=1.5)
+        with pytest.raises(InvalidKeysError):
+            run_service_workload(svc, keys, n_ops=100, distribution="pareto")
+
+
+class TestShardedExperiment:
+    def test_comparison_rows(self, rng):
+        from repro.evaluation import run_sharded_experiment
+
+        rows = run_sharded_experiment(
+            "sorted_array",
+            "facebook",
+            n=1_500,
+            shard_counts=(1, 4),
+            n_queries=2_000,
+            seed=0,
+        )
+        labels = [r.label for r in rows]
+        assert labels[0] == "monolithic"
+        assert "equi_depth K=4" in labels
+        for row in rows:
+            assert row.lookups_per_second > 0
+            assert row.hit_rate == 1.0
+            assert row.p99_simulated_ns >= row.avg_simulated_ns
+        # K=1 equals the monolithic index under the cost model.
+        k1 = next(r for r in rows if r.label == "equi_depth K=1")
+        assert k1.avg_simulated_ns == pytest.approx(rows[0].avg_simulated_ns)
