@@ -13,6 +13,10 @@ have numbers to defend:
   vectorised ``lookup_many`` batch engine (results asserted equal).
 * **Inserts** — for the updatable backends, the per-key ``insert``
   loop vs ``insert_many``.
+* **Bulk inserts** — for the tree backends, the per-key
+  ``insert_many`` loop vs the vectorised ``bulk_insert_many``
+  sorted-merge path on a large sorted batch (lookup parity asserted
+  over the full merged key set).
 
 Run directly::
 
@@ -45,6 +49,9 @@ from repro.core.smoothing import smooth_keys  # noqa: E402
 from repro.indexes import INDEX_FAMILIES  # noqa: E402
 
 UPDATABLE = ("sorted_array", "btree", "alex", "lipp", "sali")
+
+#: Backends with a structural (tree) bulk-ingest path worth recording.
+BULK_FAMILIES = ("btree", "alex", "lipp", "sali")
 
 
 # ----------------------------------------------------------------------
@@ -211,19 +218,85 @@ def bench_inserts(n: int, n_inserts: int, seed: int) -> dict:
     return out
 
 
-def run(quick: bool, out_path: Path, seed: int = 0) -> dict:
+def bench_bulk_inserts(n: int, n_bulk: int, seed: int) -> dict:
+    """Per-key ``insert_many`` loop vs ``bulk_insert_many`` on a
+    sorted batch of *n_bulk* fresh keys into an *n*-key index.
+
+    Parity is asserted over the full merged key set: both indexes must
+    find every key with identical values.
+    """
+    rng = np.random.default_rng(seed)
+    universe = np.unique(rng.integers(0, (n + n_bulk) * 100, n + 2 * n_bulk))
+    rng.shuffle(universe)
+    build_keys = np.sort(universe[:n])
+    batch = np.sort(universe[n : n + n_bulk])
+    n_batch = int(batch.size)
+    out = {}
+    for family in BULK_FAMILIES:
+        cls = INDEX_FAMILIES[family]
+        loop_index = cls.build(build_keys)
+        start = time.perf_counter()
+        loop_index.insert_many(batch)
+        loop_s = time.perf_counter() - start
+
+        bulk_index = cls.build(build_keys)
+        start = time.perf_counter()
+        bulk_index.bulk_insert_many(batch)
+        bulk_s = time.perf_counter() - start
+
+        all_keys = np.fromiter(loop_index.iter_keys(), dtype=np.int64)
+        loop_batch = loop_index.lookup_many(all_keys)
+        bulk_batch = bulk_index.lookup_many(all_keys)
+        if not (
+            bool(np.all(loop_batch.found))
+            and bool(np.all(bulk_batch.found))
+            and np.array_equal(loop_batch.values, bulk_batch.values)
+            and loop_index.n_keys == bulk_index.n_keys
+        ):
+            raise AssertionError(f"{family}: bulk ingest diverged from the loop")
+        out[family] = {
+            "loop_inserts_per_s": round(n_batch / loop_s, 1),
+            "bulk_inserts_per_s": round(n_batch / bulk_s, 1),
+            "speedup": round(loop_s / bulk_s, 2),
+        }
+    return out
+
+
+def _measure(quick: bool, seed: int) -> dict:
     n = 2_000 if quick else 10_000
     alpha = 0.2
     n_queries = 4_000 if quick else 20_000
     n_inserts = 500 if quick else 2_000
-    report = {
+    n_bulk = 5_000 if quick else 100_000
+    return {
         "config": {"quick": quick, "n": n, "alpha": alpha,
-                   "n_queries": n_queries, "n_inserts": n_inserts, "seed": seed},
+                   "n_queries": n_queries, "n_inserts": n_inserts,
+                   "n_bulk": n_bulk, "seed": seed},
         "smoothing": bench_smoothing(n, alpha, seed),
         "lookups": bench_lookups(n, n_queries, seed),
         "inserts": bench_inserts(n, n_inserts, seed),
+        "bulk_inserts": bench_bulk_inserts(n, n_bulk, seed),
     }
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def run(quick: bool, out_path: Path, seed: int = 0) -> dict:
+    report = _measure(quick, seed)
+    if not quick:
+        # A full (baseline) run also records a quick pass: the CI
+        # perf gate compares its own quick run against this
+        # like-for-like section (speedup ratios, which cancel machine
+        # speed) instead of against the full run's absolute numbers.
+        report["quick_baseline"] = _measure(True, seed)
+    # Merge into an existing trajectory file instead of clobbering
+    # sections other benches own (bench_serving's "serving").
+    merged: dict = {}
+    if out_path.exists():
+        try:
+            merged = json.loads(out_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged.update(report)
+    out_path.write_text(json.dumps(merged, indent=2) + "\n")
     return report
 
 
@@ -236,6 +309,15 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the JSON report",
     )
     args = parser.parse_args(argv)
+    if args.quick and args.out.resolve() == (REPO_ROOT / "BENCH_perf.json").resolve():
+        # A quick run merged into the committed baseline would leave
+        # stale full-run sections behind and flip the CI gate into
+        # machine-dependent strict mode; quick numbers belong in a
+        # scratch file.
+        parser.error(
+            "--quick must not overwrite the committed baseline; "
+            "pass an explicit --out (e.g. --out /tmp/BENCH_fresh.json)"
+        )
     report = run(args.quick, args.out, args.seed)
     smoothing = report["smoothing"]
     print(f"smoothing  n={smoothing['n_keys']}  seed {smoothing['seed_seconds']}s  "
@@ -246,6 +328,9 @@ def main(argv: list[str] | None = None) -> int:
     for family, row in report["inserts"].items():
         print(f"insert {family:12s} loop {row['loop_inserts_per_s']:>12.0f}/s  "
               f"batch {row['batch_inserts_per_s']:>12.0f}/s  ({row['speedup']}x)")
+    for family, row in report["bulk_inserts"].items():
+        print(f"bulk   {family:12s} loop {row['loop_inserts_per_s']:>12.0f}/s  "
+              f"bulk  {row['bulk_inserts_per_s']:>12.0f}/s  ({row['speedup']}x)")
     print(f"wrote {args.out}")
     return 0
 

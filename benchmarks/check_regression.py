@@ -1,0 +1,191 @@
+"""CI perf-regression gate: compare a fresh ``BENCH_perf.json``
+against the committed baseline.
+
+Both reports are flattened to metric leaves: *throughput* metrics
+(numeric keys ending in ``_per_s``, higher is better) and *speedup*
+metrics (keys named ``speedup`` — dimensionless loop-vs-vectorised
+ratios measured on a single machine, so machine speed cancels out of
+them).  The gate then picks the strictest comparison the two reports
+support:
+
+* **strict** — the configs match (e.g. a full rerun against the
+  committed full baseline): every throughput metric, and every
+  speedup at or above ``--min-ratio-speedup``, may drop at most
+  ``--max-drop`` (default 30%).
+* **ratio** — the configs differ but the baseline embeds a
+  ``quick_baseline`` section whose config matches the fresh report
+  (the CI case: the committed full run carries a quick pass, CI
+  reruns ``--quick`` on a machine of unknown speed): speedup metrics
+  whose baseline value is at least ``--min-ratio-speedup`` (default
+  1.5) are gated at ``--max-drop``; near-unity speedups are the ratio
+  of two nearly identical timings (pure scheduling noise on a shared
+  runner) and are demoted to information, as are absolute
+  throughputs, which a slower runner shifts uniformly without any
+  code regressing.
+* **grace** — no like-for-like section exists: throughputs are gated
+  with an extra ``--cross-config-grace`` (default 20%) on top of
+  ``--max-drop``, a best-effort fallback.
+
+Metrics present in only one report are listed but never fail the run.
+
+Usage::
+
+    python benchmarks/bench_perf_regression.py --quick --out /tmp/fresh.json
+    python benchmarks/check_regression.py --fresh /tmp/fresh.json
+
+To bless an intentional slowdown, regenerate the baseline with a full
+run (which re-records the embedded quick baseline too) and commit it::
+
+    python benchmarks/bench_perf_regression.py   # rewrites BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Leaf-key suffix marking a throughput metric (higher is better).
+THROUGHPUT_SUFFIX = "_per_s"
+#: Leaf key of the dimensionless loop-vs-vectorised ratio.
+SPEEDUP_KEY = "speedup"
+
+
+def collect_metrics(report: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten to ``{dotted.path: value}`` over gated metric leaves."""
+    out: dict[str, float] = {}
+    for key, value in report.items():
+        if key == "quick_baseline":
+            continue  # embedded section is compared separately
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            out.update(collect_metrics(value, path))
+        elif isinstance(value, (int, float)) and (
+            key.endswith(THROUGHPUT_SUFFIX) or key == SPEEDUP_KEY
+        ):
+            out[path] = float(value)
+    return out
+
+
+def pick_mode(baseline: dict, fresh: dict) -> tuple[str, dict]:
+    """Choose the comparison mode and the effective baseline report."""
+    if baseline.get("config") == fresh.get("config"):
+        return "strict", baseline
+    quick = baseline.get("quick_baseline")
+    if isinstance(quick, dict) and quick.get("config") == fresh.get("config"):
+        return "ratio", quick
+    return "grace", baseline
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    max_drop: float,
+    cross_config_grace: float,
+    min_ratio_speedup: float = 1.5,
+) -> tuple[str, float, list[tuple[str, float, float, float, bool]], list[str]]:
+    """Return ``(mode, allowed_drop, rows, skipped_paths)``.
+
+    Each row is ``(path, baseline_value, fresh_value, drop, gated)``
+    with ``drop = 1 - fresh/baseline`` (negative means faster) and
+    *gated* False for information-only rows.  Near-unity speedups
+    (baseline below *min_ratio_speedup*) are never gated in any mode:
+    they are the ratio of two nearly identical timings, i.e. noise.
+    """
+    mode, base_report = pick_mode(baseline, fresh)
+    if mode == "grace":
+        allowed = min(0.95, max_drop + cross_config_grace)
+    else:
+        allowed = max_drop
+    base_metrics = collect_metrics(base_report)
+    fresh_metrics = collect_metrics(fresh)
+    rows = []
+    for path in sorted(base_metrics):
+        if path not in fresh_metrics:
+            continue
+        base_v = base_metrics[path]
+        fresh_v = fresh_metrics[path]
+        drop = 1.0 - (fresh_v / base_v) if base_v > 0 else 0.0
+        is_speedup = path.endswith(f".{SPEEDUP_KEY}") or path == SPEEDUP_KEY
+        if is_speedup:
+            gated = mode != "grace" and base_v >= min_ratio_speedup
+        else:
+            gated = mode != "ratio"
+        rows.append((path, base_v, fresh_v, drop, gated))
+    skipped = sorted(set(base_metrics).symmetric_difference(fresh_metrics))
+    return mode, allowed, rows, skipped
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=REPO_ROOT / "BENCH_perf.json",
+        help="committed baseline JSON (default: repo BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True,
+        help="freshly produced JSON to gate",
+    )
+    parser.add_argument(
+        "--max-drop", type=float, default=0.30,
+        help="fail when a gated metric drops more than this fraction "
+             "below baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--cross-config-grace", type=float, default=0.20,
+        help="extra tolerated drop in the grace fallback, when no "
+             "like-for-like baseline section exists (default 0.20)",
+    )
+    parser.add_argument(
+        "--min-ratio-speedup", type=float, default=1.5,
+        help="in ratio mode, gate only speedups whose baseline is at "
+             "least this (near-unity ratios are noise; default 1.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    mode, allowed, rows, skipped = compare(
+        baseline, fresh, args.max_drop, args.cross_config_grace,
+        args.min_ratio_speedup,
+    )
+    gated_rows = [r for r in rows if r[4]]
+    if not gated_rows:
+        print("error: no overlapping gated metrics to compare")
+        return 2
+
+    print(
+        f"perf gate [{mode}]: {len(gated_rows)} gated metrics "
+        f"({len(rows) - len(gated_rows)} informational), allowed drop {allowed:.0%}"
+    )
+    failures = 0
+    for path, base_v, fresh_v, drop, gated in rows:
+        if not gated:
+            status = "info"
+        elif drop > allowed:
+            status = "FAIL"
+            failures += 1
+        else:
+            status = "ok"
+        print(
+            f"  [{status:4s}] {path:55s} {base_v:>14,.1f} -> {fresh_v:>14,.1f}"
+            f"  ({-drop:+.1%})"
+        )
+    for path in skipped:
+        print(f"  [skip] {path} (present in only one report)")
+    if failures:
+        print(
+            f"\n{failures} metric(s) regressed beyond the {allowed:.0%} gate. "
+            "If intentional, regenerate the baseline: "
+            "python benchmarks/bench_perf_regression.py"
+        )
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,14 @@ from ..core.cost_model import CostConstants
 from ..core.exceptions import IndexStateError, KeyNotFoundError
 from ..core.segment_stats import validate_keys
 
-__all__ = ["QueryStats", "BatchQueryStats", "LearnedIndex", "prepare_key_values"]
+__all__ = [
+    "QueryStats",
+    "BatchQueryStats",
+    "LearnedIndex",
+    "dedupe_last_wins",
+    "group_runs",
+    "prepare_key_values",
+]
 
 #: Bytes charged per stored key / value / pointer in the size model.
 KEY_BYTES = 8
@@ -163,6 +170,39 @@ def _as_batch_kv(
     if vals.shape != arr.shape:
         raise IndexStateError("values must parallel keys")
     return arr, vals
+
+
+def dedupe_last_wins(
+    keys: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort a key/value run keeping the last occurrence of each key.
+
+    The batch-order last-wins semantics of sequential ``insert`` calls,
+    as sorted unique arrays ready for a bulk ``build`` or sorted merge
+    — shared by the bulk-ingest paths, the router's empty-shard
+    materialisation and the service's merge path.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_vals = values[order]
+    last = np.ones(sorted_keys.size, dtype=bool)
+    last[:-1] = sorted_keys[:-1] != sorted_keys[1:]
+    return sorted_keys[last], sorted_vals[last]
+
+
+def group_runs(values: np.ndarray) -> list[np.ndarray]:
+    """Index groups of equal entries in *values* (stable within groups).
+
+    The grouped-frontier idiom shared by every tree backend's batch
+    routing: one stable argsort splits a slot-assignment array into
+    per-slot index runs, each preserving the input order.  Returns an
+    empty list for empty input.
+    """
+    if values.size == 0:
+        return []
+    order = np.argsort(values, kind="stable")
+    run_starts = np.nonzero(np.diff(values[order]))[0] + 1
+    return np.split(order, run_starts)
 
 
 def _range_from_sorted_arrays(
@@ -326,6 +366,33 @@ class LearnedIndex(ABC):
                 raise IndexStateError("values must parallel keys")
         for key, value in zip(arr.tolist(), vals.tolist()):
             self.insert(int(key), int(value))
+
+    def bulk_insert_many(
+        self,
+        keys: np.ndarray | list,
+        values: np.ndarray | list | None = None,
+    ) -> None:
+        """Bulk-ingest a write batch (values default to the keys).
+
+        *Content*-equivalent to :meth:`insert_many` — duplicates within
+        the batch resolve last-wins, keys already stored are
+        overwritten, and afterwards every batch key looks up to its
+        batch value with all other stored keys untouched.  The tree
+        backends override this with sorted-merge implementations that
+        amortise structural maintenance across the whole batch (bulk
+        rebuilds of the touched nodes/subtrees instead of one
+        root-to-leaf descent per key), so the *physical layout* after a
+        bulk ingest may legitimately differ from the per-key loop's —
+        typically it is the fresher, better-packed structure a bulk
+        load would produce.  Lookup results (found/value) are exactly
+        identical; ``tests/indexes/test_bulk_insert.py`` asserts this
+        parity per backend.
+
+        This generic implementation simply delegates to
+        :meth:`insert_many`, so a new backend is correct before it is
+        fast.
+        """
+        self.insert_many(keys, values)
 
     # ------------------------------------------------------------------
     # Convenience batch helpers used by the evaluation harness

@@ -22,7 +22,10 @@ from ..base import (
     BatchQueryStats,
     LearnedIndex,
     QueryStats,
+    _as_batch_kv,
     _as_query_array,
+    dedupe_last_wins,
+    group_runs,
     prepare_key_values,
 )
 from .node import DEFAULT_SLOT_FACTOR, SLOT_CHILD, SLOT_DATA, SLOT_EMPTY, LippNode
@@ -195,9 +198,7 @@ class LippIndex(LearnedIndex):
             if np.any(child_mask):
                 c_idx = idx[child_mask]
                 c_slots = slots[child_mask]
-                order = np.argsort(c_slots, kind="stable")
-                run_starts = np.nonzero(np.diff(c_slots[order]))[0] + 1
-                for group in np.split(order, run_starts):
+                for group in group_runs(c_slots):
                     child = node.children[int(c_slots[group[0]])]
                     frontier.append((child, c_idx[group], depth + 1))
 
@@ -242,6 +243,131 @@ class LippIndex(LearnedIndex):
     #: ``max(REBUILD_MIN_CONFLICTS, REBUILD_RATIO * subtree size)``.
     REBUILD_MIN_CONFLICTS = 8
     REBUILD_RATIO = 0.1
+
+    # ------------------------------------------------------------------
+    # Bulk ingest
+    # ------------------------------------------------------------------
+    #: A batch group covering at least this fraction of the subtree it
+    #: lands in triggers a sorted-merge rebuild of the whole subtree
+    #: (flatten + merge + ``from_keys``) instead of a grouped descent.
+    BULK_REBUILD_FRACTION = 0.25
+    #: Subtrees at or below this many keys are always rebuilt — the
+    #: flatten/merge is a handful of array ops, cheaper than recursing.
+    BULK_SMALL_SUBTREE = 64
+
+    def bulk_insert_many(self, keys, values=None) -> None:
+        """Bulk ingest: sorted-merge rebuild of the touched subtrees.
+
+        The deduped sorted batch descends the tree as grouped runs
+        (one vectorised model evaluation per visited node, as in
+        :meth:`lookup_many`); wherever a group is *dense* relative to
+        the subtree it falls into, the subtree is flattened to sorted
+        slot arrays, merged with the group (batch values win), and
+        rebuilt with one :meth:`LippNode.from_keys` call — amortising
+        model fits and slot placement across the whole group instead
+        of paying one root-to-leaf descent, conflict child and
+        threshold rebuild per key.  Sparse remainders patch terminal
+        slots in place.  Rebuilt subtrees start with fresh conflict
+        counters (they are *post*-adjustment structures), so the
+        physical layout may differ from the per-key loop's; lookup
+        contents are identical.
+        """
+        arr, vals = _as_batch_kv(keys, values)
+        if arr.size == 0:
+            return
+        bkeys, bvals = dedupe_last_wins(arr, vals)
+        replacement, __ = self._bulk_into(self._root, bkeys, bvals)
+        if replacement is not self._root:
+            replacement.parent = None
+            replacement.parent_slot = None
+            self._root = replacement
+
+    def _bulk_into(self, node, bkeys: np.ndarray, bvals: np.ndarray):
+        """Merge a sorted unique batch run into *node*'s subtree.
+
+        Returns ``(replacement, net_new_keys)``; *replacement* is
+        *node* itself when patched in place, or a freshly rebuilt
+        subtree the caller must re-attach.  Handles SALI's flattened
+        leaves by duck-type (rebuilt as flattened nodes, preserving
+        their adaptation).
+        """
+        if not isinstance(node, LippNode):
+            # Flattened leaf: merge into its dense arrays and rebuild
+            # the segmentation once for the whole group.
+            old_keys, old_vals = node.collect_arrays()
+            merged_k, merged_v = dedupe_last_wins(
+                np.concatenate([old_keys, bkeys]), np.concatenate([old_vals, bvals])
+            )
+            rebuilt = type(node)(merged_k, merged_v, node.level, node.epsilon)
+            return rebuilt, int(merged_k.size) - int(old_keys.size)
+        n = node.n_subtree_keys
+        if n <= self.BULK_SMALL_SUBTREE or bkeys.size >= self.BULK_REBUILD_FRACTION * n:
+            old_keys, old_vals = node.collect_arrays()
+            merged_k, merged_v = dedupe_last_wins(
+                np.concatenate([old_keys, bkeys]), np.concatenate([old_vals, bvals])
+            )
+            rebuilt = LippNode.from_keys(
+                merged_k, merged_v, node.level, self._slot_factor
+            )
+            return rebuilt, int(merged_k.size) - int(old_keys.size)
+        # Sparse batch: group by predicted slot, patch terminals in
+        # place and recurse into child subtrees.
+        slots = np.clip(
+            np.rint(node.model.predict_array(bkeys)).astype(np.int64), 0, node.m - 1
+        )
+        net_total = 0
+        for group in group_runs(slots):
+            slot = int(slots[group[0]])
+            gkeys = bkeys[group]
+            gvals = bvals[group]
+            kind = int(node.slot_type[slot])
+            if kind == SLOT_CHILD:
+                child = node.children[slot]
+                replacement, net = self._bulk_into(child, gkeys, gvals)
+                if replacement is not child:
+                    replacement.parent = node
+                    replacement.parent_slot = slot
+                    node.children[slot] = replacement
+            elif kind == SLOT_EMPTY:
+                if gkeys.size == 1:
+                    node.slot_type[slot] = SLOT_DATA
+                    node.slot_keys[slot] = gkeys[0]
+                    node.slot_values[slot] = gvals[0]
+                else:
+                    self._attach_bulk_child(node, slot, gkeys, gvals)
+                net = int(gkeys.size)
+            else:  # SLOT_DATA
+                existing_key = int(node.slot_keys[slot])
+                if gkeys.size == 1 and int(gkeys[0]) == existing_key:
+                    node.slot_values[slot] = gvals[0]
+                    net = 0
+                else:
+                    merged_k, merged_v = dedupe_last_wins(
+                        np.concatenate(
+                            [np.asarray([existing_key], dtype=np.int64), gkeys]
+                        ),
+                        np.concatenate(
+                            [np.asarray([int(node.slot_values[slot])], dtype=np.int64), gvals]
+                        ),
+                    )
+                    node.slot_keys[slot] = 0
+                    node.slot_values[slot] = 0
+                    self._attach_bulk_child(node, slot, merged_k, merged_v)
+                    node.conflicts_since_build += 1
+                    net = int(merged_k.size) - 1
+            net_total += net
+        node.n_subtree_keys += net_total
+        return node, net_total
+
+    def _attach_bulk_child(
+        self, node: LippNode, slot: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Build a subtree from a sorted run and install it at *slot*."""
+        child = LippNode.from_keys(keys, values, node.level + 1, self._slot_factor)
+        child.parent = node
+        child.parent_slot = slot
+        node.slot_type[slot] = SLOT_CHILD
+        node.children[slot] = child
 
     def _maybe_rebuild(self, path: list[LippNode]) -> None:
         """Rebuild the shallowest over-conflicted node on *path*."""

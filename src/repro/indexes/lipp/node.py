@@ -107,8 +107,28 @@ class LippNode:
         n = int(keys.size)
         if m is None:
             m = max(MIN_SLOTS, int(np.ceil(n * slot_factor)))
+        if model is None and n == 2:
+            # Conflict pairs are the bulk of all recursive builds; the
+            # OLS fit over two ranks reduces analytically to endpoint
+            # interpolation (first key -> slot 0, last -> slot m-1),
+            # so skip the generic fit/predict/group machinery.  The
+            # resulting layout is identical to the generic path's.
+            k0 = int(keys[0])
+            span = int(keys[1]) - k0
+            node = cls(m, LinearModel((m - 1) / span, 0.0, pivot=k0), level)
+            node.n_subtree_keys = 2
+            node.slot_type[0] = SLOT_DATA
+            node.slot_keys[0] = keys[0]
+            node.slot_values[0] = values[0]
+            node.slot_type[m - 1] = SLOT_DATA
+            node.slot_keys[m - 1] = keys[1]
+            node.slot_values[m - 1] = values[1]
+            return node
         if model is None:
-            if n == 1:
+            if n <= 1:
+                # Zero or one key: constant model (the n == 0 case is
+                # the empty-index bulk-load seed; fit_linear rejects
+                # empty inputs).
                 model = LinearModel(0.0, 0.0)
             else:
                 scaled = fit_linear(keys).scaled((m - 1) / max(n - 1, 1))
@@ -127,24 +147,29 @@ class LippNode:
             predicted = np.clip(
                 np.round(node.model.predict_array(keys)).astype(np.int64), 0, m - 1
             )
-        # Group consecutive keys sharing a predicted slot.
+        # Group consecutive keys sharing a predicted slot.  Runs of
+        # one key (the common case) are written with a single scatter;
+        # only conflict runs recurse into children.
         boundaries = np.nonzero(np.diff(predicted))[0] + 1
         starts = np.concatenate([[0], boundaries])
         ends = np.concatenate([boundaries, [n]])
-        for start, end in zip(starts.tolist(), ends.tolist()):
+        single = (ends - starts) == 1
+        if np.any(single):
+            s_starts = starts[single]
+            s_slots = predicted[s_starts]
+            node.slot_type[s_slots] = SLOT_DATA
+            node.slot_keys[s_slots] = keys[s_starts]
+            node.slot_values[s_slots] = values[s_starts]
+        multi = ~single
+        for start, end in zip(starts[multi].tolist(), ends[multi].tolist()):
             slot = int(predicted[start])
-            if end - start == 1:
-                node.slot_type[slot] = SLOT_DATA
-                node.slot_keys[slot] = keys[start]
-                node.slot_values[slot] = values[start]
-            else:
-                child = cls.from_keys(
-                    keys[start:end], values[start:end], level + 1, slot_factor
-                )
-                child.parent = node
-                child.parent_slot = slot
-                node.slot_type[slot] = SLOT_CHILD
-                node.children[slot] = child
+            child = cls.from_keys(
+                keys[start:end], values[start:end], level + 1, slot_factor
+            )
+            child.parent = node
+            child.parent_slot = slot
+            node.slot_type[slot] = SLOT_CHILD
+            node.children[slot] = child
         return node
 
     @property
@@ -210,13 +235,35 @@ class LippNode:
                 yield from self.children[slot].iter_entries()
 
     def collect_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """Subtree keys and values as sorted parallel arrays."""
-        pairs = list(self.iter_entries())
-        if not pairs:
+        """Subtree keys and values as sorted parallel arrays.
+
+        Vectorised flatten: every node contributes its DATA slots with
+        one masked gather (non-``LippNode`` leaves — SALI's flattened
+        subtrees — contribute their dense arrays), and a final argsort
+        restores global key order.  Keys are unique across a subtree,
+        so sorting the unordered concatenation is exact.  This is the
+        primitive the bulk-ingest and subtree-rebuild paths lean on; a
+        per-entry Python walk here would dominate their cost.
+        """
+        key_parts: list[np.ndarray] = []
+        val_parts: list[np.ndarray] = []
+        for node in self.walk():
+            if isinstance(node, LippNode):
+                data = np.nonzero(node.slot_type == SLOT_DATA)[0]
+                if data.size:
+                    key_parts.append(node.slot_keys[data])
+                    val_parts.append(node.slot_values[data])
+            else:  # flattened leaf (duck-typed): already dense arrays
+                k, v = node.collect_arrays()
+                if k.size:
+                    key_parts.append(k)
+                    val_parts.append(v)
+        if not key_parts:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        keys = np.asarray([p[0] for p in pairs], dtype=np.int64)
-        values = np.asarray([p[1] for p in pairs], dtype=np.int64)
-        return keys, values
+        keys = np.concatenate(key_parts)
+        values = np.concatenate(val_parts)
+        order = np.argsort(keys, kind="stable")
+        return keys[order], values[order]
 
     def walk(self) -> Iterator["LippNode"]:
         """Yield every node of the subtree (pre-order)."""

@@ -163,6 +163,13 @@ class SaliIndex(LippIndex):
             node.slot_keys[slot] = key
             node.slot_values[slot] = value
 
+    # Bulk ingest is inherited from LippIndex: `bulk_insert_many`'s
+    # recursive sorted-merge (`_bulk_into`) duck-types non-LippNode
+    # leaves, so batches landing in a flattened subtree merge into its
+    # dense arrays and rebuild it *as a flattened node* — one
+    # re-segmentation per touched flat leaf, preserving SALI's
+    # adaptation instead of per-key `FlattenedNode.insert` rebuilds.
+
     # ------------------------------------------------------------------
     # SALI's own adaptation: flattening hot subtrees
     # ------------------------------------------------------------------

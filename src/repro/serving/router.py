@@ -25,26 +25,10 @@ from ..indexes.base import (
     LearnedIndex,
     _as_batch_kv,
     _as_query_array,
+    dedupe_last_wins,
 )
 
 __all__ = ["RoutedBatch", "ShardRouter", "dedupe_last_wins"]
-
-
-def dedupe_last_wins(
-    keys: np.ndarray, values: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Sort a key/value run keeping the last occurrence of each key.
-
-    The batch-order last-wins semantics of sequential ``insert`` calls,
-    as sorted unique arrays ready for a bulk ``build`` — shared by the
-    router's empty-shard materialisation and the service's merge path.
-    """
-    order = np.argsort(keys, kind="stable")
-    sorted_keys = keys[order]
-    sorted_vals = values[order]
-    last = np.ones(sorted_keys.size, dtype=bool)
-    last[:-1] = sorted_keys[:-1] != sorted_keys[1:]
-    return sorted_keys[last], sorted_vals[last]
 
 
 @dataclass(frozen=True)

@@ -30,11 +30,13 @@ acceptance parity tests in ``tests/serving/``).
 from __future__ import annotations
 
 import math
+import queue
 import threading
+import time
 from collections import OrderedDict
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, wait as futures_wait
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -71,6 +73,53 @@ def _memtable_steps(n: int) -> int:
 #: samples are decimated 2:1 (uniformly, so percentiles stay unbiased)
 #: to bound a long-lived service's memory.
 LATENCY_SAMPLE_CAP = 262_144
+
+#: Default bound on how long :meth:`IndexService.close` waits for
+#: in-flight background merges before abandoning them.
+DEFAULT_CLOSE_TIMEOUT = 30.0
+
+
+class _MergeWorker:
+    """Single *daemon* merge thread with Future-based handoff.
+
+    A stdlib ``ThreadPoolExecutor`` would do, except its threads are
+    non-daemon and joined by an atexit hook — one hung merge would
+    wedge the ``serve`` CLI (and any embedding process) on interpreter
+    exit.  This worker keeps the Future interface but runs as a daemon
+    thread, so :meth:`shutdown` can give up after a timeout and the
+    process still exits.
+    """
+
+    def __init__(self) -> None:
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._run, name="merge", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, fn: Callable, *args) -> Future:
+        future: Future = Future()
+        self._queue.put((future, fn, args))
+        return future
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            future, fn, args = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # propagate through the Future
+                future.set_exception(exc)
+
+    def shutdown(self, timeout: float | None = None) -> bool:
+        """Stop after the queued work; True if the thread exited."""
+        self._queue.put(None)
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
 
 
 @dataclass
@@ -225,12 +274,10 @@ class IndexService:
         self._shard_epochs = [0] * router.n_shards
         self._ns_samples: list[list[np.ndarray]] = [[] for _ in range(router.n_shards)]
         self._ns_seen = [0] * router.n_shards
-        self._merge_pool = (
-            ThreadPoolExecutor(max_workers=1, thread_name_prefix="merge")
-            if background_merge
-            else None
-        )
+        self._merge_pool = _MergeWorker() if background_merge else None
         self._merge_futures: list[Future] = []
+        self._closed = False
+        self._clean_close = True
 
     # ------------------------------------------------------------------
     # Construction
@@ -539,7 +586,12 @@ class IndexService:
         if shard is None:
             merged = cls.build(bkeys, bvals)
         elif in_place:
-            shard.insert_many(bkeys, bvals)
+            # Drain the buffer through the vectorised bulk-ingest path:
+            # the tree backends sorted-merge-rebuild their touched
+            # nodes/subtrees in one sweep instead of descending once
+            # per buffered key — this is what lifts the LIPP/SALI
+            # merge ceiling the ROADMAP flags.
+            shard.bulk_insert_many(bkeys, bvals)
             merged = shard
         else:
             # One ordered scan recovers the stored pairs — cheaper
@@ -585,11 +637,29 @@ class IndexService:
             if len(buffer):
                 self._merge_shard(shard_no)
 
-    def drain(self) -> None:
-        """Wait for all scheduled background merges."""
-        for future in self._merge_futures:
-            future.result()
-        self._merge_futures = []
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for scheduled background merges, optionally bounded.
+
+        Returns True once every scheduled merge has finished.  With a
+        *timeout*, unfinished merges stay scheduled (a later drain can
+        still collect them) and False is returned instead of blocking
+        forever.  Exceptions raised by completed merges propagate.
+        """
+        if not self._merge_futures:
+            return True
+        done, not_done = futures_wait(self._merge_futures, timeout=timeout)
+        self._merge_futures = list(not_done)
+        # Retrieve every completed future's outcome before raising, so
+        # no failure is silently dropped; the first error propagates
+        # with any others attached as context.
+        errors = [exc for f in done if (exc := f.exception()) is not None]
+        if errors:
+            if len(errors) > 1:
+                errors[0].__notes__ = getattr(errors[0], "__notes__", []) + [
+                    f"(+{len(errors) - 1} further background merge failure(s))"
+                ]
+            raise errors[0]
+        return not not_done
 
     # ------------------------------------------------------------------
     # Range path
@@ -647,13 +717,37 @@ class IndexService:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Finish background merges and shut down the thread pools."""
-        self.drain()
-        if self._merge_pool is not None:
-            self._merge_pool.shutdown(wait=True)
-            self._merge_pool = None
-        self.router.close()
+    def close(self, timeout: float | None = DEFAULT_CLOSE_TIMEOUT) -> bool:
+        """Finish background merges and shut down the worker threads.
+
+        Idempotent: repeated calls are no-ops returning the first
+        call's outcome.  The whole close — draining scheduled merges
+        plus joining the worker — shares one *timeout* budget (None
+        waits indefinitely): a merge that hangs past it is abandoned
+        on its daemon thread — the close returns False and the process
+        can still exit — instead of wedging the ``serve`` CLI.
+        Returns True when everything drained cleanly; a close that
+        raises (a background merge failed) reports False thereafter.
+        """
+        if self._closed:
+            return self._clean_close
+        self._closed = True
+        self._clean_close = False
+        deadline = None if timeout is None else time.monotonic() + timeout
+        clean = False
+        try:
+            clean = self.drain(timeout=timeout)
+        finally:
+            if self._merge_pool is not None:
+                remaining = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                clean = self._merge_pool.shutdown(timeout=remaining) and clean
+                self._merge_pool = None
+            self.router.close()
+            self._clean_close = clean
+        return clean
 
     def __enter__(self) -> "IndexService":
         return self

@@ -1,0 +1,138 @@
+"""Service-level tests for the bulk merge path and shutdown semantics.
+
+The staleness-triggered merge now drains write buffers through
+``bulk_insert_many`` on the updatable families; these tests pin (1)
+content parity between merge-via-bulk and the per-key merge-via-loop,
+(2) that static families still merge by rebuild, and (3) that
+``close`` is idempotent and bounded by a join timeout, so a hung
+background merge cannot wedge the ``serve`` CLI on exit.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving.service import UPDATABLE_FAMILIES, IndexService
+
+
+def _seed_keys(rng, n=3_000):
+    return np.unique(rng.integers(0, 10**7, n))
+
+
+def _expected_contents(keys, batches):
+    expected = {int(k): int(k) for k in keys}
+    for bkeys, bvals in batches:
+        expected.update(zip(bkeys.tolist(), bvals.tolist()))
+    return expected
+
+
+class TestMergeViaBulk:
+    @pytest.mark.parametrize("family", UPDATABLE_FAMILIES)
+    def test_merge_via_bulk_matches_merge_via_loop(self, family, rng):
+        """The bulk-drained merge stores exactly what the per-key
+        ``insert_many`` merge stored: every written key resolves to its
+        last value after a flush, on every shard."""
+        keys = _seed_keys(rng)
+        bulk_service = IndexService.build(
+            keys, family=family, n_shards=3, staleness_threshold=0.05
+        )
+        loop_service = IndexService.build(
+            keys, family=family, n_shards=3, staleness_threshold=0.05
+        )
+        # Force the comparison service's merges down the per-key path.
+        for shard in loop_service.router.shards:
+            if shard is not None:
+                shard.bulk_insert_many = shard.insert_many
+        batches = []
+        for round_no in range(4):
+            bkeys = rng.integers(0, 10**7, 900)
+            bvals = rng.integers(0, 1 << 40, 900)
+            batches.append((bkeys, bvals))
+            bulk_service.insert_many(bkeys, bvals)
+            loop_service.insert_many(bkeys, bvals)
+        bulk_service.flush()
+        loop_service.flush()
+        assert bulk_service.stats.merges > 0
+        expected = _expected_contents(keys, batches)
+        probe = np.asarray(sorted(expected), dtype=np.int64)
+        want = np.asarray([expected[int(k)] for k in probe], dtype=np.int64)
+        got_bulk = bulk_service.lookup_many(probe)
+        got_loop = loop_service.lookup_many(probe)
+        assert bool(np.all(got_bulk.found))
+        assert bool(np.all(got_loop.found))
+        assert np.array_equal(got_bulk.values, want)
+        assert np.array_equal(got_loop.values, want)
+        assert bulk_service.n_keys == loop_service.n_keys == probe.size
+        bulk_service.close()
+        loop_service.close()
+
+    @pytest.mark.parametrize("family", ("pgm", "rmi"))
+    def test_static_families_still_merge_by_rebuild(self, family, rng):
+        keys = _seed_keys(rng, 2_000)
+        service = IndexService.build(
+            keys, family=family, n_shards=2, staleness_threshold=0.05
+        )
+        bkeys = rng.integers(0, 10**7, 600)
+        service.insert_many(bkeys, bkeys * 2)
+        service.flush()
+        assert service.stats.merges > 0
+        probe = np.unique(bkeys)
+        got = service.lookup_many(probe)
+        assert bool(np.all(got.found))
+        assert np.array_equal(got.values, probe * 2)
+        service.close()
+
+
+class TestShutdown:
+    def test_close_is_idempotent(self, rng):
+        keys = _seed_keys(rng, 1_500)
+        service = IndexService.build(
+            keys, family="btree", n_shards=2,
+            staleness_threshold=0.05, background_merge=True,
+        )
+        service.insert_many(rng.integers(0, 10**7, 500))
+        assert service.close() is True
+        assert service.close() is True  # second close: no-op, same answer
+
+    def test_close_joins_with_timeout_on_hung_merge(self, rng):
+        """A merge that never finishes must not block close() past its
+        timeout (the worker is a daemon thread, so the process could
+        still exit afterwards)."""
+        keys = _seed_keys(rng, 1_000)
+        service = IndexService.build(
+            keys, family="btree", n_shards=2, background_merge=True,
+        )
+        hang = service._merge_pool.submit(time.sleep, 60)
+        service._merge_futures.append(hang)
+        start = time.perf_counter()
+        assert service.close(timeout=0.2) is False
+        assert time.perf_counter() - start < 5.0
+        assert service.close() is False  # remembered outcome, no re-wait
+        assert service._merge_pool is None
+
+    def test_merge_worker_thread_is_daemon(self, rng):
+        keys = _seed_keys(rng, 1_000)
+        service = IndexService.build(
+            keys, family="btree", n_shards=2, background_merge=True,
+        )
+        assert service._merge_pool._thread.daemon
+        assert service.close() is True
+
+    def test_flush_after_close_still_merges_synchronously(self, rng):
+        """Late writes after close land via the synchronous path
+        (the pool is gone but the service object stays usable)."""
+        keys = _seed_keys(rng, 1_000)
+        service = IndexService.build(
+            keys, family="btree", n_shards=2,
+            staleness_threshold=10.0, background_merge=True,
+        )
+        service.close()
+        bkeys = np.unique(rng.integers(0, 10**7, 300))
+        service.insert_many(bkeys, bkeys + 7)
+        service.flush()
+        got = service.lookup_many(bkeys)
+        assert bool(np.all(got.found))
+        assert np.array_equal(got.values, bkeys + 7)
