@@ -17,6 +17,10 @@ have numbers to defend:
   ``insert_many`` loop vs the vectorised ``bulk_insert_many``
   sorted-merge path on a large sorted batch (lookup parity asserted
   over the full merged key set).
+* **Flat view** (``lipp_flat``/``sali_flat``) — LIPP/SALI batch
+  lookups and sparse gapped bulk merges through the compiled
+  level-ordered flat representation vs the node-object oracle
+  (``use_flat=False``), exact parity asserted.
 
 Run directly::
 
@@ -133,6 +137,24 @@ def _seed_smooth(keys: np.ndarray, budget: int) -> list[int]:
 # ----------------------------------------------------------------------
 # Benchmarks
 # ----------------------------------------------------------------------
+def _best_of(fn, repeats: int = 3):
+    """``(last_result, best_seconds)`` over *repeats* timed calls.
+
+    Taking the minimum suppresses GC pauses and scheduler
+    preemption on shared CI runners — a single spiked loop timing
+    otherwise inflates the recorded speedup ratio, which the
+    regression gate then compares against honest later runs.  Only
+    valid for non-mutating *fn*.
+    """
+    best = float("inf")
+    result = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
 def bench_smoothing(n: int, alpha: float, seed: int) -> dict:
     rng = np.random.default_rng(seed)
     keys = np.unique(rng.integers(0, n * 1000, n))
@@ -168,14 +190,16 @@ def bench_lookups(n: int, n_queries: int, seed: int) -> dict:
     out = {}
     for family, cls in INDEX_FAMILIES.items():
         loop_index = cls.build(keys)
-        start = time.perf_counter()
-        scalar = [loop_index.lookup_stats(int(k)) for k in queries]
-        loop_s = time.perf_counter() - start
+        scalar, loop_s = _best_of(
+            lambda: [loop_index.lookup_stats(int(k)) for k in queries]
+        )
 
         batch_index = cls.build(keys)
-        start = time.perf_counter()
-        batch = batch_index.lookup_many(queries)
-        batch_s = time.perf_counter() - start
+        # Warm-up probe: one-time lazy work (LIPP/SALI compile their
+        # flat view on first batch query) stays out of the steady-state
+        # timing, mirroring how the serving layer prewarms shards.
+        batch_index.lookup_many(queries[:1])
+        batch, batch_s = _best_of(lambda: batch_index.lookup_many(queries))
 
         for i in range(0, batch.n_queries, max(1, batch.n_queries // 200)):
             s, b = scalar[i], batch.stat(i)
@@ -234,15 +258,19 @@ def bench_bulk_inserts(n: int, n_bulk: int, seed: int) -> dict:
     out = {}
     for family in BULK_FAMILIES:
         cls = INDEX_FAMILIES[family]
-        loop_index = cls.build(build_keys)
-        start = time.perf_counter()
-        loop_index.insert_many(batch)
-        loop_s = time.perf_counter() - start
+        # Ingest mutates the index, so best-of-2 rebuilds a fresh pair
+        # per repeat instead of re-timing the same call.
+        loop_s = bulk_s = float("inf")
+        for __ in range(2):
+            loop_index = cls.build(build_keys)
+            start = time.perf_counter()
+            loop_index.insert_many(batch)
+            loop_s = min(loop_s, time.perf_counter() - start)
 
-        bulk_index = cls.build(build_keys)
-        start = time.perf_counter()
-        bulk_index.bulk_insert_many(batch)
-        bulk_s = time.perf_counter() - start
+            bulk_index = cls.build(build_keys)
+            start = time.perf_counter()
+            bulk_index.bulk_insert_many(batch)
+            bulk_s = min(bulk_s, time.perf_counter() - start)
 
         all_keys = np.fromiter(loop_index.iter_keys(), dtype=np.int64)
         loop_batch = loop_index.lookup_many(all_keys)
@@ -262,13 +290,91 @@ def bench_bulk_inserts(n: int, n_bulk: int, seed: int) -> dict:
     return out
 
 
+def bench_flat(n: int, n_queries: int, seed: int) -> dict:
+    """Flat level-ordered view vs the node-object oracle (LIPP/SALI).
+
+    Two comparisons per family, same built tree:
+
+    * ``lookups`` — ``lookup_many`` through the compiled flat view
+      (vectorised per-level gathers) vs the ``use_flat=False`` grouped
+      frontier sweep, with exact per-key stats parity asserted;
+    * ``sparse_bulk`` — a fresh batch sized below the dense-rebuild
+      threshold, merged via the in-place gapped path vs the oracle's
+      recursive sorted-merge, with content parity asserted.
+
+    Returns ``{"lipp_flat": {...}, "sali_flat": {...}}`` top-level
+    sections.
+    """
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, n * 10_000, n))
+    queries = rng.choice(keys, n_queries)
+    n_sparse = max(8, n // 8)  # well under the 25% wholesale threshold
+    sparse = np.setdiff1d(
+        rng.integers(0, n * 10_000, 4 * n_sparse), keys
+    )[:n_sparse]
+    out = {}
+    for family in ("lipp", "sali"):
+        cls = INDEX_FAMILIES[family]
+        flat_index = cls.build(keys)
+        flat_index.prewarm_flat()
+        node_index = cls.build(keys, use_flat=False)
+
+        node_stats, node_s = _best_of(lambda: node_index.lookup_many(queries))
+        flat_stats, flat_s = _best_of(lambda: flat_index.lookup_many(queries))
+
+        if not (
+            np.array_equal(flat_stats.found, node_stats.found)
+            and np.array_equal(flat_stats.values, node_stats.values)
+            and np.array_equal(flat_stats.levels, node_stats.levels)
+            and np.array_equal(flat_stats.search_steps, node_stats.search_steps)
+        ):
+            raise AssertionError(f"{family}: flat lookup diverged from the node oracle")
+
+        # Bulk merge mutates the tree, so best-of-2 rebuilds a fresh
+        # pair per repeat instead of re-timing the same call.
+        node_bulk_s = flat_bulk_s = float("inf")
+        for __ in range(2):
+            node_index = cls.build(keys, use_flat=False)
+            start = time.perf_counter()
+            node_index.bulk_insert_many(sparse)
+            node_bulk_s = min(node_bulk_s, time.perf_counter() - start)
+
+            flat_index = cls.build(keys)
+            flat_index.prewarm_flat()
+            start = time.perf_counter()
+            flat_index.bulk_insert_many(sparse)
+            flat_bulk_s = min(flat_bulk_s, time.perf_counter() - start)
+
+        merged = np.fromiter(node_index.iter_keys(), dtype=np.int64)
+        if not (
+            np.array_equal(merged, np.fromiter(flat_index.iter_keys(), dtype=np.int64))
+            and flat_index.n_keys == node_index.n_keys
+            and bool(np.all(flat_index.lookup_many(merged).found))
+        ):
+            raise AssertionError(f"{family}: gapped merge diverged from the node oracle")
+
+        out[f"{family}_flat"] = {
+            "lookups": {
+                "node_batch_lookups_per_s": round(n_queries / node_s, 1),
+                "flat_batch_lookups_per_s": round(n_queries / flat_s, 1),
+                "speedup": round(node_s / flat_s, 2),
+            },
+            "sparse_bulk": {
+                "node_bulk_inserts_per_s": round(sparse.size / node_bulk_s, 1),
+                "flat_bulk_inserts_per_s": round(sparse.size / flat_bulk_s, 1),
+                "speedup": round(node_bulk_s / flat_bulk_s, 2),
+            },
+        }
+    return out
+
+
 def _measure(quick: bool, seed: int) -> dict:
     n = 2_000 if quick else 10_000
     alpha = 0.2
     n_queries = 4_000 if quick else 20_000
     n_inserts = 500 if quick else 2_000
     n_bulk = 5_000 if quick else 100_000
-    return {
+    report = {
         "config": {"quick": quick, "n": n, "alpha": alpha,
                    "n_queries": n_queries, "n_inserts": n_inserts,
                    "n_bulk": n_bulk, "seed": seed},
@@ -277,6 +383,8 @@ def _measure(quick: bool, seed: int) -> dict:
         "inserts": bench_inserts(n, n_inserts, seed),
         "bulk_inserts": bench_bulk_inserts(n, n_bulk, seed),
     }
+    report.update(bench_flat(n, n_queries, seed))
+    return report
 
 
 def run(quick: bool, out_path: Path, seed: int = 0) -> dict:
@@ -331,6 +439,11 @@ def main(argv: list[str] | None = None) -> int:
     for family, row in report["bulk_inserts"].items():
         print(f"bulk   {family:12s} loop {row['loop_inserts_per_s']:>12.0f}/s  "
               f"bulk  {row['bulk_inserts_per_s']:>12.0f}/s  ({row['speedup']}x)")
+    for section in ("lipp_flat", "sali_flat"):
+        for sub, row in report[section].items():
+            per_s = [v for k, v in row.items() if k.endswith("_per_s")]
+            print(f"flat   {section}.{sub:12s} node {per_s[0]:>12.0f}/s  "
+                  f"flat  {per_s[1]:>12.0f}/s  ({row['speedup']}x)")
     print(f"wrote {args.out}")
     return 0
 

@@ -28,10 +28,19 @@ support:
 
 Metrics present in only one report are listed but never fail the run.
 
+Independently of the baseline comparison, ``--floor PATH=VALUE``
+(repeatable) imposes an *absolute* minimum on a fresh metric: the run
+fails when the metric is missing or below the floor.  Floors are for
+dimensionless speedups that must hold on any runner (e.g. the flat
+LIPP/SALI lookup path must stay several times faster than the
+per-key loop), where a relative gate against a drifting baseline is
+not strong enough.
+
 Usage::
 
     python benchmarks/bench_perf_regression.py --quick --out /tmp/fresh.json
-    python benchmarks/check_regression.py --fresh /tmp/fresh.json
+    python benchmarks/check_regression.py --fresh /tmp/fresh.json \
+        --floor lookups.lipp.speedup=5
 
 To bless an intentional slowdown, regenerate the baseline with a full
 run (which re-records the embedded quick baseline too) and commit it::
@@ -119,6 +128,33 @@ def compare(
     return mode, allowed, rows, skipped
 
 
+def parse_floor(spec: str) -> tuple[str, float]:
+    """Parse one ``PATH=VALUE`` floor spec into ``(path, value)``."""
+    path, sep, raw = spec.partition("=")
+    if not sep or not path:
+        raise argparse.ArgumentTypeError(
+            f"floor {spec!r} is not of the form PATH=VALUE"
+        )
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"floor {spec!r} has a non-numeric value"
+        ) from exc
+    return path, value
+
+
+def check_floors(
+    fresh_metrics: dict[str, float], floors: list[tuple[str, float]]
+) -> list[tuple[str, float, float | None, bool]]:
+    """``(path, floor, fresh_value_or_None, ok)`` per requested floor."""
+    rows = []
+    for path, floor in floors:
+        fresh_v = fresh_metrics.get(path)
+        rows.append((path, floor, fresh_v, fresh_v is not None and fresh_v >= floor))
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -143,6 +179,13 @@ def main(argv: list[str] | None = None) -> int:
         "--min-ratio-speedup", type=float, default=1.5,
         help="in ratio mode, gate only speedups whose baseline is at "
              "least this (near-unity ratios are noise; default 1.5)",
+    )
+    parser.add_argument(
+        "--floor", type=parse_floor, action="append", default=[],
+        metavar="PATH=VALUE",
+        help="absolute minimum for a fresh metric (dotted path); a "
+             "missing metric or one below the floor fails the gate "
+             "(repeatable)",
     )
     args = parser.parse_args(argv)
 
@@ -176,6 +219,12 @@ def main(argv: list[str] | None = None) -> int:
         )
     for path in skipped:
         print(f"  [skip] {path} (present in only one report)")
+    floor_rows = check_floors(collect_metrics(fresh), args.floor)
+    for path, floor, fresh_v, ok in floor_rows:
+        if not ok:
+            failures += 1
+        shown = "missing" if fresh_v is None else f"{fresh_v:,.2f}"
+        print(f"  [{'ok' if ok else 'FAIL':4s}] floor {path:49s} >= {floor:,.2f}  ({shown})")
     if failures:
         print(
             f"\n{failures} metric(s) regressed beyond the {allowed:.0%} gate. "

@@ -110,6 +110,9 @@ class LippCsvAdapter:
         parent.children[slot] = new
         new.parent = parent
         new.parent_slot = slot
+        # Direct tree surgery: the index's compiled flat view no
+        # longer matches the structure.
+        self.index.invalidate_flat()
 
 
 class SaliCsvAdapter(LippCsvAdapter):

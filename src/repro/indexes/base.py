@@ -42,6 +42,7 @@ __all__ = [
     "QueryStats",
     "BatchQueryStats",
     "LearnedIndex",
+    "alloc_batch_outputs",
     "dedupe_last_wins",
     "group_runs",
     "prepare_key_values",
@@ -52,6 +53,12 @@ KEY_BYTES = 8
 VALUE_BYTES = 8
 POINTER_BYTES = 8
 NODE_HEADER_BYTES = 32
+#: Bytes charged per per-node model (quadratic/linear coefficients +
+#: integer pivot: a, b, c, pivot at 8 bytes each).
+MODEL_BYTES = 32
+#: Bytes charged per node for its entry in a flat layout's CSR-style
+#: slot-offset array (LIPP/SALI level-ordered representation).
+OFFSET_BYTES = 8
 
 
 @dataclass(frozen=True)
@@ -152,6 +159,23 @@ def _as_query_array(keys: np.ndarray | list) -> np.ndarray:
     if arr.ndim != 1:
         raise IndexStateError("query keys must be one-dimensional")
     return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def alloc_batch_outputs(
+    n: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Zeroed ``(found, values, levels, search_steps)`` output arrays.
+
+    The scatter targets every vectorised ``lookup_many`` writes into;
+    shared so each backend allocates the :class:`BatchQueryStats`
+    parallel arrays identically.
+    """
+    return (
+        np.zeros(n, dtype=bool),
+        np.zeros(n, dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+    )
 
 
 def _as_batch_kv(

@@ -1,0 +1,391 @@
+"""Level-ordered flat (struct-of-arrays) view of a LIPP/SALI tree.
+
+The node-object representation (:class:`~repro.indexes.lipp.node.
+LippNode`) is ideal for mutation but terrible for batch traversal: the
+grouped frontier sweep pays a Python dispatch per visited node, and a
+LIPP tree built at slot factor 1.0 has *thousands* of two-key conflict
+children, so batch lookups were structure-bound at ~1.5x over the
+scalar loop while every array-backed index family enjoyed 10-850x.
+
+:class:`FlatLipp` compiles the tree into contiguous level-ordered
+arrays:
+
+* per node (BFS order, so each level occupies one contiguous id
+  range): ``node_level``, the model coefficients ``node_a`` /
+  ``node_b`` / ``node_c`` / ``node_pivot`` (quadratic form with
+  ``a = 0`` for the ubiquitous linear models, evaluated as
+  ``(a*t + b)*t + c`` with ``t = key - pivot`` so linear predictions
+  are bit-identical to :meth:`LinearModel.predict`), and the CSR-style
+  ``slot_start`` offsets mapping node ``i`` to its slot range
+  ``[slot_start[i], slot_start[i+1])``;
+* per slot (concatenated in node order): ``slot_type`` /
+  ``slot_keys`` / ``slot_values`` exactly as in the nodes, plus
+  ``slot_child`` holding the child *node id* for CHILD slots (or an
+  encoded index into :attr:`leaves` when the child is one of SALI's
+  flattened subtrees).
+
+A batch lookup is then a few vectorised gathers per level over the
+whole surviving frontier — predict slots for every active query at
+once, resolve DATA/EMPTY terminals with array compares, and route
+CHILD survivors down by assigning their next node ids — instead of a
+Python-object walk per node.  The same ``locate`` sweep drives the
+in-place gapped bulk merge in
+:meth:`~repro.indexes.lipp.index.LippIndex.bulk_insert_many`.
+
+**Buffer sharing.**  ``compile`` does not *copy* the tree: after
+concatenating the slot arrays it re-points every node's
+``slot_type`` / ``slot_keys`` / ``slot_values`` at views into the big
+buffers.  The node objects remain the authoritative mutable structure,
+and any in-place slot write (an EMPTY slot filled by ``insert``, a
+DATA value overwritten) is immediately visible to the flat view with
+no invalidation.  Only *structural* changes — a conflict child
+created, a subtree rebuilt, a hot subtree flattened — stale the
+compiled mapping; the index invalidates and lazily recompiles.
+``StaleFlatError`` is the safety net for structural edits that bypass
+the index API (tests performing direct tree surgery must call
+``invalidate_flat``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.linear_model import LinearModel, QuadraticModel
+from ..base import group_runs
+from .node import SLOT_CHILD, SLOT_DATA, SLOT_EMPTY, LippNode
+
+__all__ = ["FlatLipp", "StaleFlatError"]
+
+#: ``slot_child`` encoding: ``>= 0`` is a node id, ``NO_CHILD`` marks a
+#: non-CHILD slot, and ``<= FLAT_LEAF_BASE`` encodes flattened-leaf
+#: index ``FLAT_LEAF_BASE - value``.
+NO_CHILD = -1
+FLAT_LEAF_BASE = -2
+
+
+class StaleFlatError(RuntimeError):
+    """The compiled flat view no longer matches the node tree.
+
+    Raised before any output is written, so callers can invalidate,
+    recompile and retry the sweep.
+    """
+
+
+def _leaf_like(node) -> bool:
+    """Whether *node* is a flattened leaf (duck-typed, non-LippNode)."""
+    return not isinstance(node, LippNode)
+
+
+class FlatLipp:
+    """Compiled level-ordered slot arrays over a LIPP/SALI subtree."""
+
+    __slots__ = (
+        "nodes",
+        "leaves",
+        "node_level",
+        "node_a",
+        "node_b",
+        "node_c",
+        "node_pivot",
+        "slot_start",
+        "slot_type",
+        "slot_keys",
+        "slot_values",
+        "slot_child",
+    )
+
+    def __init__(self) -> None:
+        self.nodes: list[LippNode] = []
+        self.leaves: list = []
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(cls, root) -> "FlatLipp | None":
+        """Flatten the tree under *root* (BFS), sharing slot buffers.
+
+        Returns None when the tree cannot be represented (non-LippNode
+        root, or a node model that is neither linear nor quadratic) —
+        callers fall back to the node-object sweep.
+        """
+        if _leaf_like(root):
+            return None
+        flat = cls()
+        nodes = flat.nodes
+        leaves = flat.leaves
+        nodes.append(root)
+        node_of: dict[int, int] = {id(root): 0}
+        # BFS: children are appended strictly after their parents, so
+        # node ids are level-ordered and each level is contiguous.
+        head = 0
+        while head < len(nodes):
+            node = nodes[head]
+            head += 1
+            if not isinstance(node.model, (LinearModel, QuadraticModel)):
+                return None
+            for __, child in sorted(node.children.items()):
+                if _leaf_like(child):
+                    continue  # registered while emitting slot_child
+                node_of[id(child)] = len(nodes)
+                nodes.append(child)
+        n_nodes = len(nodes)
+        level = np.empty(n_nodes, dtype=np.int64)
+        a = np.zeros(n_nodes, dtype=np.float64)
+        b = np.empty(n_nodes, dtype=np.float64)
+        c = np.empty(n_nodes, dtype=np.float64)
+        pivot = np.empty(n_nodes, dtype=np.int64)
+        slot_start = np.empty(n_nodes + 1, dtype=np.int64)
+        type_parts: list[np.ndarray] = []
+        key_parts: list[np.ndarray] = []
+        val_parts: list[np.ndarray] = []
+        child_parts: list[np.ndarray] = []
+        offset = 0
+        for i, node in enumerate(nodes):
+            level[i] = node.level
+            model = node.model
+            if isinstance(model, QuadraticModel):
+                a[i] = model.a
+                b[i] = model.b
+                c[i] = model.c
+            else:
+                b[i] = model.slope
+                c[i] = model.intercept
+            pivot[i] = model.pivot
+            m = node.m
+            slot_start[i] = offset
+            offset += m
+            type_parts.append(node.slot_type)
+            key_parts.append(node.slot_keys)
+            val_parts.append(node.slot_values)
+            child = np.full(m, NO_CHILD, dtype=np.int64)
+            for slot, sub in node.children.items():
+                if _leaf_like(sub):
+                    child[slot] = FLAT_LEAF_BASE - len(leaves)
+                    leaves.append(sub)
+                else:
+                    child[slot] = node_of[id(sub)]
+            child_parts.append(child)
+        slot_start[n_nodes] = offset
+        flat.node_level = level
+        flat.node_a = a
+        flat.node_b = b
+        flat.node_c = c
+        flat.node_pivot = pivot
+        flat.slot_start = slot_start
+        flat.slot_type = np.concatenate(type_parts) if type_parts else np.empty(0, np.uint8)
+        flat.slot_keys = np.concatenate(key_parts) if key_parts else np.empty(0, np.int64)
+        flat.slot_values = np.concatenate(val_parts) if val_parts else np.empty(0, np.int64)
+        flat.slot_child = np.concatenate(child_parts) if child_parts else np.empty(0, np.int64)
+        # Re-point every node's slot arrays at views into the shared
+        # buffers: in-place slot writes through the node API stay
+        # visible to the flat view with no recompile.
+        for i, node in enumerate(nodes):
+            base = int(slot_start[i])
+            end = int(slot_start[i + 1])
+            node.slot_type = flat.slot_type[base:end]
+            node.slot_keys = flat.slot_keys[base:end]
+            node.slot_values = flat.slot_values[base:end]
+        return flat
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of (non-leaf) LIPP nodes in the compiled view."""
+        return len(self.nodes)
+
+    @property
+    def total_slots(self) -> int:
+        """Total slot count across every compiled node."""
+        return int(self.slot_start[-1])
+
+    def _check_fresh(self) -> None:
+        """Raise :class:`StaleFlatError` on a detectable structural skew.
+
+        A CHILD slot whose ``slot_child`` mapping is missing means a
+        conflict child was created through the shared buffers without
+        an ``invalidate_flat`` — refuse to traverse."""
+        bad = (self.slot_type == SLOT_CHILD) & (self.slot_child == NO_CHILD)
+        if bool(np.any(bad)):
+            raise StaleFlatError("flat view is stale: unmapped CHILD slot")
+
+    def _predict_slots(self, ids: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Global slot index each node model assigns to its query key."""
+        t = (keys - self.node_pivot[ids]).astype(np.float64)
+        pos = (self.node_a[ids] * t + self.node_b[ids]) * t + self.node_c[ids]
+        base = self.slot_start[ids]
+        width = (self.slot_start[ids + 1] - base).astype(np.float64)
+        # Clamp in float space before rounding: identical result to the
+        # scalar round-then-clamp (bounds are integers and rounding is
+        # monotone) without int64 overflow on wild extrapolations.
+        pos = np.rint(np.clip(pos, 0.0, width - 1.0)).astype(np.int64)
+        return base + pos
+
+    # ------------------------------------------------------------------
+    # Batched traversal
+    # ------------------------------------------------------------------
+    def lookup_many_into(
+        self,
+        q: np.ndarray,
+        found: np.ndarray,
+        values: np.ndarray,
+        levels: np.ndarray,
+        steps: np.ndarray,
+        visit_counts: np.ndarray | None = None,
+        leaf_visits: np.ndarray | None = None,
+    ) -> None:
+        """Vectorised multi-level lookup sweep, scattered into outputs.
+
+        All four output arrays parallel *q*.  With *visit_counts* (one
+        int64 cell per node) every node on each query's path is
+        credited one visit — the aggregate equivalent of SALI's
+        per-query ``record_path``; *leaf_visits* does the same for
+        flattened leaves.  Raises :class:`StaleFlatError` (before
+        writing anything) when the view no longer matches the tree.
+        """
+        self._check_fresh()
+        active = np.arange(q.size)
+        cur = np.zeros(q.size, dtype=np.int64)  # everyone starts at the root
+        depth = 1
+        while active.size:
+            if visit_counts is not None:
+                visit_counts += np.bincount(cur, minlength=self.n_nodes)
+            keys = q[active]
+            gslot = self._predict_slots(cur, keys)
+            kinds = self.slot_type[gslot]
+            is_child = kinds == SLOT_CHILD
+            terminal = ~is_child
+            if np.any(terminal):
+                t_active = active[terminal]
+                t_slot = gslot[terminal]
+                levels[t_active] = depth
+                hit = (kinds[terminal] == SLOT_DATA) & (self.slot_keys[t_slot] == keys[terminal])
+                hit_active = t_active[hit]
+                found[hit_active] = True
+                values[hit_active] = self.slot_values[t_slot[hit]]
+            c_active = active[is_child]
+            nxt = self.slot_child[gslot[is_child]]
+            leaf_sel = nxt <= FLAT_LEAF_BASE
+            if np.any(leaf_sel):
+                l_active = c_active[leaf_sel]
+                l_ids = FLAT_LEAF_BASE - nxt[leaf_sel]
+                levels[l_active] = depth + 1
+                if leaf_visits is not None:
+                    leaf_visits += np.bincount(l_ids, minlength=len(self.leaves))
+                for group in group_runs(l_ids):
+                    leaf = self.leaves[int(l_ids[group[0]])]
+                    sel = l_active[group]
+                    g_found, g_values, g_steps = leaf.lookup_batch(q[sel])
+                    found[sel] = g_found
+                    values[sel] = g_values
+                    steps[sel] = g_steps
+                keep = ~leaf_sel
+                c_active = c_active[keep]
+                nxt = nxt[keep]
+            active = c_active
+            cur = nxt
+            depth += 1
+
+    def locate(
+        self, bkeys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Terminal position of each key: ``(node, gslot, kind, leaf)``.
+
+        The same per-level sweep as :meth:`lookup_many_into`, but it
+        returns where each key's descent *ends* instead of resolving
+        hits: ``node[i]`` / ``gslot[i]`` / ``kind[i]`` identify the
+        terminal node id, global slot and slot type, or ``leaf[i]``
+        (else -1) the flattened leaf the key routed into.  This is the
+        addressing pass of the in-place gapped bulk merge.
+        """
+        self._check_fresh()
+        n = int(bkeys.size)
+        term_node = np.full(n, -1, dtype=np.int64)
+        term_slot = np.full(n, -1, dtype=np.int64)
+        term_kind = np.full(n, -1, dtype=np.int64)
+        leaf_of = np.full(n, -1, dtype=np.int64)
+        active = np.arange(n)
+        cur = np.zeros(n, dtype=np.int64)
+        while active.size:
+            gslot = self._predict_slots(cur, bkeys[active])
+            kinds = self.slot_type[gslot]
+            is_child = kinds == SLOT_CHILD
+            terminal = ~is_child
+            if np.any(terminal):
+                t_active = active[terminal]
+                term_node[t_active] = cur[terminal]
+                term_slot[t_active] = gslot[terminal]
+                term_kind[t_active] = kinds[terminal]
+            active = active[is_child]
+            nxt = self.slot_child[gslot[is_child]]
+            leaf_sel = nxt <= FLAT_LEAF_BASE
+            if np.any(leaf_sel):
+                leaf_of[active[leaf_sel]] = FLAT_LEAF_BASE - nxt[leaf_sel]
+                keep = ~leaf_sel
+                active = active[keep]
+                nxt = nxt[keep]
+            cur = nxt
+        return term_node, term_slot, term_kind, leaf_of
+
+    def credit_access(
+        self, visit_counts: np.ndarray, leaf_visits: np.ndarray
+    ) -> None:
+        """Scatter sweep visit counters back onto the node objects.
+
+        Keeps the node tree the single source of truth for SALI's
+        access statistics (``AccessTracker`` reads ``access_count``
+        off the objects when picking flattening targets)."""
+        for i in np.nonzero(visit_counts)[0].tolist():
+            self.nodes[i].access_count += int(visit_counts[i])
+        for i in np.nonzero(leaf_visits)[0].tolist():
+            self.leaves[i].access_count += int(leaf_visits[i])
+
+    # ------------------------------------------------------------------
+    # Vectorised structural introspection
+    # ------------------------------------------------------------------
+    def _data_slot_nodes(self) -> tuple[np.ndarray, np.ndarray]:
+        """(global DATA slot indexes, owning node id per slot)."""
+        data_slots = np.nonzero(self.slot_type == SLOT_DATA)[0]
+        node_of = np.searchsorted(self.slot_start, data_slots, side="right") - 1
+        return data_slots, node_of
+
+    def level_histogram(self) -> dict[int, int]:
+        """Keys stored per level — one bincount over the DATA slots."""
+        __, node_of = self._data_slot_nodes()
+        max_level = int(self.node_level.max(initial=0))
+        for leaf in self.leaves:
+            max_level = max(max_level, int(leaf.level))
+        counts = np.bincount(self.node_level[node_of], minlength=max_level + 1)
+        for leaf in self.leaves:
+            counts[int(leaf.level)] += int(leaf.keys.size)
+        return {int(lvl): int(c) for lvl, c in enumerate(counts) if c}
+
+    def keys_at_or_below(self, level: int) -> np.ndarray:
+        """Sorted keys stored at *level* or deeper — masked gathers."""
+        data_slots, node_of = self._data_slot_nodes()
+        deep = self.node_level[node_of] >= level
+        parts = [self.slot_keys[data_slots[deep]]]
+        parts.extend(leaf.keys for leaf in self.leaves if leaf.level >= level)
+        return np.sort(np.concatenate(parts)) if parts else np.empty(0, np.int64)
+
+    def node_levels(self) -> list[int]:
+        """Level of every node (leaves included), unordered."""
+        return self.node_level.tolist() + [int(leaf.level) for leaf in self.leaves]
+
+    def height(self) -> int:
+        """Deepest level of any node or flattened leaf."""
+        deepest = int(self.node_level.max(initial=1))
+        for leaf in self.leaves:
+            deepest = max(deepest, int(leaf.level))
+        return deepest
+
+    def empty_and_total_slots(self) -> tuple[int, int]:
+        """(EMPTY slots, total slots) with flattened leaves' dense
+        entries counted as fully occupied slots."""
+        empty = int(np.count_nonzero(self.slot_type == SLOT_EMPTY))
+        total = self.total_slots + sum(int(leaf.keys.size) for leaf in self.leaves)
+        return empty, total
+
+    def child_slot_count(self) -> int:
+        """CHILD slots across every node (= child pointers stored)."""
+        return int(np.count_nonzero(self.slot_type == SLOT_CHILD))

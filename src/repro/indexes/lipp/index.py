@@ -16,7 +16,9 @@ import numpy as np
 from ...core.exceptions import IndexStateError
 from ..base import (
     KEY_BYTES,
+    MODEL_BYTES,
     NODE_HEADER_BYTES,
+    OFFSET_BYTES,
     POINTER_BYTES,
     VALUE_BYTES,
     BatchQueryStats,
@@ -24,10 +26,12 @@ from ..base import (
     QueryStats,
     _as_batch_kv,
     _as_query_array,
+    alloc_batch_outputs,
     dedupe_last_wins,
     group_runs,
     prepare_key_values,
 )
+from .flat import FlatLipp, StaleFlatError
 from .node import DEFAULT_SLOT_FACTOR, SLOT_CHILD, SLOT_DATA, SLOT_EMPTY, LippNode
 
 __all__ = ["LippIndex"]
@@ -46,9 +50,15 @@ class LippIndex(LearnedIndex):
 
     name = "lipp"
 
-    def __init__(self, root: LippNode, slot_factor: float):
+    def __init__(self, root: LippNode, slot_factor: float, use_flat: bool = True):
         self._root = root
         self._slot_factor = slot_factor
+        #: With ``use_flat`` unset the index runs entirely on the
+        #: node-object sweeps — the authoritative oracle the flat
+        #: parity suite compares against.
+        self._use_flat = bool(use_flat)
+        self._flat: FlatLipp | None = None
+        self._flat_uncompilable = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -57,10 +67,11 @@ class LippIndex(LearnedIndex):
         keys,
         values=None,
         slot_factor: float = DEFAULT_SLOT_FACTOR,
+        use_flat: bool = True,
     ) -> "LippIndex":
         arr, vals = prepare_key_values(keys, values)
         root = LippNode.from_keys(arr, vals, level=1, slot_factor=slot_factor)
-        return cls(root, slot_factor)
+        return cls(root, slot_factor, use_flat=use_flat)
 
     @property
     def root(self) -> LippNode:
@@ -69,6 +80,36 @@ class LippIndex(LearnedIndex):
     @property
     def slot_factor(self) -> float:
         return self._slot_factor
+
+    # ------------------------------------------------------------------
+    # Flat-view cache management
+    # ------------------------------------------------------------------
+    def invalidate_flat(self) -> None:
+        """Drop the compiled flat view after a structural change.
+
+        Every code path that alters tree *structure* (conflict child,
+        subtree rebuild, CSV re-smoothing, SALI flattening) must call
+        this; in-place slot writes need not, because the node slot
+        arrays are views into the flat buffers.  Code performing
+        direct tree surgery outside the index API (tests, adapters)
+        must call it too.
+        """
+        self._flat = None
+        self._flat_uncompilable = False
+
+    def prewarm_flat(self) -> None:
+        """Compile the flat view now (e.g. before serving a shard)."""
+        self._flat_view()
+
+    def _flat_view(self) -> FlatLipp | None:
+        """The compiled flat view, or None when disabled/unsupported."""
+        if not self._use_flat or self._flat_uncompilable:
+            return None
+        if self._flat is None:
+            self._flat = FlatLipp.compile(self._root)
+            if self._flat is None:
+                self._flat_uncompilable = True
+        return self._flat
 
     # ------------------------------------------------------------------
     def _descend(self, key: int) -> tuple[LippNode, int, int]:
@@ -106,21 +147,68 @@ class LippIndex(LearnedIndex):
     def lookup_many(self, keys) -> BatchQueryStats:
         """Batched precise-position lookups.
 
-        One vectorised model evaluation per visited node routes the
-        whole query group; terminal slots are resolved with array
-        compares.  LIPP lookups have no search component, so
-        ``search_steps`` is all zeros, exactly as in
-        :meth:`lookup_stats`.
+        With the flat view enabled (the default) the whole batch is
+        answered by :meth:`FlatLipp.lookup_many_into` — a few
+        vectorised gathers per tree level over the surviving query
+        frontier.  The node-object sweep (:meth:`_batch_descend`)
+        remains the authoritative oracle (``use_flat=False``) and the
+        fallback for trees the flat view cannot represent.  LIPP
+        lookups have no search component, so ``search_steps`` is all
+        zeros, exactly as in :meth:`lookup_stats`.
         """
         q = _as_query_array(keys)
-        m = q.size
-        found = np.zeros(m, dtype=bool)
-        values = np.zeros(m, dtype=np.int64)
-        levels = np.zeros(m, dtype=np.int64)
-        steps = np.zeros(m, dtype=np.int64)
-        if m:
-            self._batch_descend(q, found, values, levels, steps, track=False)
+        found, values, levels, steps = alloc_batch_outputs(q.size)
+        if q.size:
+            self._batch_lookup(q, found, values, levels, steps, track=False)
         return BatchQueryStats(keys=q, found=found, values=values, levels=levels, search_steps=steps)
+
+    def _batch_lookup(
+        self,
+        q: np.ndarray,
+        found: np.ndarray,
+        values: np.ndarray,
+        levels: np.ndarray,
+        steps: np.ndarray,
+        track: bool,
+    ) -> None:
+        """Route a batch through the flat view, falling back to the
+        node-object oracle sweep.
+
+        A :class:`StaleFlatError` (raised before any output is
+        written) triggers one recompile-and-retry; trees that cannot
+        be compiled at all descend through :meth:`_batch_descend`.
+        """
+        flat = self._flat_view()
+        if flat is not None:
+            try:
+                self._flat_sweep(flat, q, found, values, levels, steps, track)
+                return
+            except StaleFlatError:
+                self.invalidate_flat()
+                flat = self._flat_view()
+                if flat is not None:
+                    self._flat_sweep(flat, q, found, values, levels, steps, track)
+                    return
+        self._batch_descend(q, found, values, levels, steps, track)
+
+    @staticmethod
+    def _flat_sweep(
+        flat: FlatLipp,
+        q: np.ndarray,
+        found: np.ndarray,
+        values: np.ndarray,
+        levels: np.ndarray,
+        steps: np.ndarray,
+        track: bool,
+    ) -> None:
+        """One flat lookup sweep, crediting access counts when tracked."""
+        if not track:
+            flat.lookup_many_into(q, found, values, levels, steps)
+            return
+        visit_counts = np.zeros(flat.n_nodes, dtype=np.int64)
+        leaf_visits = np.zeros(len(flat.leaves), dtype=np.int64)
+        flat.lookup_many_into(q, found, values, levels, steps, visit_counts, leaf_visits)
+        flat.credit_access(visit_counts, leaf_visits)
 
     def _batch_descend(
         self,
@@ -235,6 +323,7 @@ class LippIndex(LearnedIndex):
             node.slot_values[slot] = value
             return
         node.make_conflict_child(slot, key, value, self._slot_factor)
+        self.invalidate_flat()
         for visited in path:
             visited.conflicts_since_build += 1
         self._maybe_rebuild(path)
@@ -256,19 +345,21 @@ class LippIndex(LearnedIndex):
     BULK_SMALL_SUBTREE = 64
 
     def bulk_insert_many(self, keys, values=None) -> None:
-        """Bulk ingest: sorted-merge rebuild of the touched subtrees.
+        """Bulk ingest: in-place gapped merge of the touched slots.
 
-        The deduped sorted batch descends the tree as grouped runs
-        (one vectorised model evaluation per visited node, as in
-        :meth:`lookup_many`); wherever a group is *dense* relative to
-        the subtree it falls into, the subtree is flattened to sorted
-        slot arrays, merged with the group (batch values win), and
-        rebuilt with one :meth:`LippNode.from_keys` call — amortising
-        model fits and slot placement across the whole group instead
-        of paying one root-to-leaf descent, conflict child and
-        threshold rebuild per key.  Sparse remainders patch terminal
-        slots in place.  Rebuilt subtrees start with fresh conflict
-        counters (they are *post*-adjustment structures), so the
+        A batch *dense* relative to the whole index (or landing in a
+        tiny tree) still takes the wholesale sorted-merge rebuild
+        (:meth:`_bulk_into`: flatten + merge + one
+        :meth:`LippNode.from_keys`), which amortises model fits across
+        the group.  Sparse batches instead run the ALEX-style gapped
+        merge over the flat view: one vectorised :meth:`FlatLipp.
+        locate` sweep addresses every key's terminal slot, overwrites
+        and unique-gap fills are pure array scatters through the
+        shared slot buffers, and only genuinely conflicting slots
+        (several keys colliding, or colliding with an existing entry)
+        build conflict children — no subtree is rebuilt unless its
+        accumulated conflicts cross LIPP's adjustment threshold.
+        Rebuilt subtrees start with fresh conflict counters, so the
         physical layout may differ from the per-key loop's; lookup
         contents are identical.
         """
@@ -276,11 +367,167 @@ class LippIndex(LearnedIndex):
         if arr.size == 0:
             return
         bkeys, bvals = dedupe_last_wins(arr, vals)
+        n = self._root.n_subtree_keys
+        dense = n <= self.BULK_SMALL_SUBTREE or bkeys.size >= self.BULK_REBUILD_FRACTION * n
+        if not dense:
+            flat = self._flat_view()
+            if flat is not None:
+                try:
+                    self._gapped_merge(flat, bkeys, bvals)
+                    return
+                except StaleFlatError:
+                    self.invalidate_flat()
+                    flat = self._flat_view()
+                    if flat is not None:
+                        self._gapped_merge(flat, bkeys, bvals)
+                        return
         replacement, __ = self._bulk_into(self._root, bkeys, bvals)
         if replacement is not self._root:
             replacement.parent = None
             replacement.parent_slot = None
             self._root = replacement
+        self.invalidate_flat()
+
+    def _gapped_merge(self, flat: FlatLipp, bkeys: np.ndarray, bvals: np.ndarray) -> None:
+        """Merge a sorted unique batch through the compiled flat view.
+
+        One :meth:`FlatLipp.locate` sweep addresses every key; the
+        merge itself is three vectorised scatters (value overwrites,
+        unique-gap fills, per-leaf group merges) plus a Python loop
+        over only the *conflicting* slots.  Subtree-key counts are
+        propagated up the (short) parent chains of the touched
+        terminal nodes, and nodes whose conflict counters cross the
+        adjustment threshold are rebuilt shallow-first afterwards.
+        """
+        term_node, term_slot, term_kind, leaf_of = flat.locate(bkeys)
+        nodes = flat.nodes
+        slot_start = flat.slot_start
+        net_by_node = np.zeros(len(nodes), dtype=np.int64)
+        conflict_nodes: dict[int, LippNode] = {}
+        structural = False
+
+        # Flattened leaves (SALI): one merge + re-segmentation per
+        # touched leaf; swapping the rebuilt leaf into ``flat.leaves``
+        # keeps the slot_child mapping valid with no recompile.
+        l_rows = np.nonzero(leaf_of >= 0)[0]
+        if l_rows.size:
+            l_rows = l_rows[np.argsort(leaf_of[l_rows], kind="stable")]
+            l_ids = leaf_of[l_rows]
+            for group in group_runs(l_ids):
+                sel = l_rows[group]
+                leaf_id = int(l_ids[group[0]])
+                leaf = flat.leaves[leaf_id]
+                old_k, old_v = leaf.collect_arrays()
+                merged_k, merged_v = dedupe_last_wins(
+                    np.concatenate([old_k, bkeys[sel]]),
+                    np.concatenate([old_v, bvals[sel]]),
+                )
+                rebuilt = type(leaf)(merged_k, merged_v, leaf.level, leaf.epsilon)
+                parent = leaf.parent
+                rebuilt.parent = parent
+                rebuilt.parent_slot = leaf.parent_slot
+                parent.children[leaf.parent_slot] = rebuilt
+                flat.leaves[leaf_id] = rebuilt
+                net = int(merged_k.size) - int(old_k.size)
+                if net:
+                    self._credit_chain(parent, net)
+
+        # DATA terminals: a slot whose single key matches the stored
+        # key is a pure value overwrite through the shared buffers;
+        # anything else is a conflict group merged into a child.
+        d_rows = np.nonzero(term_kind == SLOT_DATA)[0]
+        if d_rows.size:
+            d_slots = term_slot[d_rows]
+            match = flat.slot_keys[d_slots] == bkeys[d_rows]
+            uniq, inv, counts = np.unique(d_slots, return_inverse=True, return_counts=True)
+            matches_per_slot = np.bincount(inv, weights=match.astype(np.float64))
+            pure = (counts == 1) & (matches_per_slot.astype(np.int64) == 1)
+            ov_rows = d_rows[pure[inv]]
+            if ov_rows.size:
+                flat.slot_values[term_slot[ov_rows]] = bvals[ov_rows]
+            for gslot in uniq[~pure].tolist():
+                sel = d_rows[d_slots == gslot]
+                node_id = int(term_node[sel[0]])
+                node = nodes[node_id]
+                local = int(gslot - slot_start[node_id])
+                merged_k, merged_v = dedupe_last_wins(
+                    np.concatenate(
+                        [np.asarray([int(flat.slot_keys[gslot])], dtype=np.int64), bkeys[sel]]
+                    ),
+                    np.concatenate(
+                        [np.asarray([int(flat.slot_values[gslot])], dtype=np.int64), bvals[sel]]
+                    ),
+                )
+                node.slot_keys[local] = 0
+                node.slot_values[local] = 0
+                self._attach_bulk_child(node, local, merged_k, merged_v)
+                node.conflicts_since_build += 1
+                conflict_nodes[id(node)] = node
+                net_by_node[node_id] += int(merged_k.size) - 1
+                structural = True
+
+        # EMPTY terminals: unique landings fill their gap with one
+        # scatter; colliding groups become a fresh child.
+        e_rows = np.nonzero(term_kind == SLOT_EMPTY)[0]
+        if e_rows.size:
+            e_slots = term_slot[e_rows]
+            uniq, first, counts = np.unique(e_slots, return_index=True, return_counts=True)
+            single = counts == 1
+            if np.any(single):
+                rows = e_rows[first[single]]
+                slots = uniq[single]
+                flat.slot_type[slots] = SLOT_DATA
+                flat.slot_keys[slots] = bkeys[rows]
+                flat.slot_values[slots] = bvals[rows]
+                np.add.at(net_by_node, term_node[rows], 1)
+            for gslot in uniq[~single].tolist():
+                sel = e_rows[e_slots == gslot]
+                node_id = int(term_node[sel[0]])
+                node = nodes[node_id]
+                local = int(gslot - slot_start[node_id])
+                self._attach_bulk_child(node, local, bkeys[sel], bvals[sel])
+                net_by_node[node_id] += int(sel.size)
+                structural = True
+
+        for node_id in np.nonzero(net_by_node)[0].tolist():
+            self._credit_chain(nodes[node_id], int(net_by_node[node_id]))
+
+        # LIPP's adjustment, batch-style: rebuild any node whose
+        # accumulated conflicts crossed the threshold, shallow-first
+        # (a rebuilt ancestor subsumes its descendants).
+        if conflict_nodes:
+            rebuilt_ids: set[int] = set()
+            for node in sorted(conflict_nodes.values(), key=lambda nd: nd.level):
+                anc = node.parent
+                while anc is not None and id(anc) not in rebuilt_ids:
+                    anc = anc.parent
+                if anc is not None:
+                    continue  # covered by a rebuilt ancestor
+                threshold = max(
+                    self.REBUILD_MIN_CONFLICTS, self.REBUILD_RATIO * node.n_subtree_keys
+                )
+                if node.conflicts_since_build < threshold:
+                    continue
+                keys_, vals_ = node.collect_arrays()
+                rebuilt = LippNode.from_keys(keys_, vals_, node.level, self._slot_factor)
+                if node.parent is None:
+                    self._root = rebuilt
+                else:
+                    parent = node.parent
+                    pslot = node.parent_slot
+                    parent.children[pslot] = rebuilt
+                    rebuilt.parent = parent
+                    rebuilt.parent_slot = pslot
+                rebuilt_ids.add(id(node))
+        if structural:
+            self.invalidate_flat()
+
+    @staticmethod
+    def _credit_chain(node: LippNode | None, net: int) -> None:
+        """Add *net* subtree keys to *node* and every ancestor."""
+        while node is not None:
+            node.n_subtree_keys += net
+            node = node.parent
 
     def _bulk_into(self, node, bkeys: np.ndarray, bvals: np.ndarray):
         """Merge a sorted unique batch run into *node*'s subtree.
@@ -390,6 +637,7 @@ class LippIndex(LearnedIndex):
                 parent.children[slot] = rebuilt
                 rebuilt.parent = parent
                 rebuilt.parent_slot = slot
+            self.invalidate_flat()
             return
 
     # ------------------------------------------------------------------
@@ -398,15 +646,37 @@ class LippIndex(LearnedIndex):
         return self._root.n_subtree_keys
 
     def height(self) -> int:
+        flat = self._flat_view()
+        if flat is not None:
+            return flat.height()
         return max(node.level for node in self._root.walk())
 
     def node_count(self) -> int:
+        flat = self._flat_view()
+        if flat is not None:
+            return flat.n_nodes + len(flat.leaves)
         return sum(1 for __ in self._root.walk())
 
     def size_bytes(self) -> int:
+        """Resident bytes of the flat representation.
+
+        Per node: header, slot arrays (type/key/value), the model
+        coefficients (:data:`~repro.indexes.base.MODEL_BYTES`) and its
+        entry in the CSR slot-offset array
+        (:data:`~repro.indexes.base.OFFSET_BYTES`); per CHILD slot one
+        pointer.  The legacy walk charges the identical formula so the
+        oracle reports the same size.
+        """
+        flat = self._flat_view()
+        if flat is not None:
+            total = flat.n_nodes * (NODE_HEADER_BYTES + MODEL_BYTES + OFFSET_BYTES)
+            total += flat.total_slots * SLOT_BYTES
+            total += flat.child_slot_count() * POINTER_BYTES
+            return total
         total = 0
         for node in self._root.walk():
-            total += NODE_HEADER_BYTES + node.m * SLOT_BYTES
+            total += NODE_HEADER_BYTES + MODEL_BYTES + OFFSET_BYTES
+            total += node.m * SLOT_BYTES
             total += len(node.children) * POINTER_BYTES
         return total
 
@@ -425,7 +695,14 @@ class LippIndex(LearnedIndex):
     # Structure reports used by the evaluation harness
     # ------------------------------------------------------------------
     def level_histogram(self) -> dict[int, int]:
-        """Number of keys stored at each level (reproduces Fig. 1's x-axis)."""
+        """Number of keys stored at each level (reproduces Fig. 1's x-axis).
+
+        With the flat view this is one bincount over the DATA slots'
+        owning-node levels instead of a per-key Python visit.
+        """
+        flat = self._flat_view()
+        if flat is not None:
+            return flat.level_histogram()
         histogram: dict[int, int] = {}
 
         def visit(key: int, level: int) -> None:
@@ -436,6 +713,9 @@ class LippIndex(LearnedIndex):
 
     def keys_at_or_below(self, level: int) -> np.ndarray:
         """Keys stored at *level* or deeper ("promotable data")."""
+        flat = self._flat_view()
+        if flat is not None:
+            return flat.keys_at_or_below(level)
         out: list[int] = []
 
         def visit(key: int, key_level: int) -> None:
@@ -463,14 +743,32 @@ class LippIndex(LearnedIndex):
         return out
 
     def node_levels(self) -> list[int]:
-        """Level of every node (for the node-reduction metric)."""
+        """Level of every node (for the node-reduction metric).
+
+        Order is unspecified (the flat view reports BFS order, the
+        legacy walk pre-order); consumers aggregate.
+        """
+        flat = self._flat_view()
+        if flat is not None:
+            return flat.node_levels()
         return [node.level for node in self._root.walk()]
 
     def empty_slot_fraction(self) -> float:
-        """Share of EMPTY slots over all nodes (gap availability)."""
+        """Share of EMPTY slots over all slots (gap availability).
+
+        Flattened leaves (SALI) store dense sorted arrays, so their
+        entries count as fully occupied slots in the denominator.
+        """
+        flat = self._flat_view()
+        if flat is not None:
+            empty, total = flat.empty_and_total_slots()
+            return empty / total if total else 0.0
         empty = 0
         total = 0
         for node in self._root.walk():
-            empty += int(np.count_nonzero(node.slot_type == SLOT_EMPTY))
-            total += node.m
+            if isinstance(node, LippNode):
+                empty += int(np.count_nonzero(node.slot_type == SLOT_EMPTY))
+                total += node.m
+            else:
+                total += int(node.keys.size)
         return empty / total if total else 0.0

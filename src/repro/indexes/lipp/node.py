@@ -16,6 +16,7 @@ would dump every key into a single slot (which would not terminate).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Iterator
 
 import numpy as np
@@ -98,18 +99,53 @@ class LippNode:
         m: int | None = None,
         model: LinearModel | None = None,
     ) -> "LippNode":
-        """Build a node (and conflict children, recursively).
+        """Build a node (and conflict children) over level frontiers.
 
-        With *m*/*model* given, the caller controls the layout — this is
-        how CSV rebuilds install the smoothed model over an array sized
-        to the smoothed point set.
+        With *m*/*model* given, the caller controls the root layout —
+        this is how CSV rebuilds install the smoothed model over an
+        array sized to the smoothed point set.  Construction is an
+        explicit breadth-first worklist: every node lays out its whole
+        key run with vectorised grouping, and conflict runs are queued
+        as the next level's frontier instead of recursing — bounded
+        stack depth on adversarially deep conflict chains, and the
+        natural emission order for the level-ordered flat compile.
+        """
+        root, pending = cls._layout(keys, values, level, slot_factor, m, model)
+        frontier = deque(pending)
+        while frontier:
+            parent, slot, group_keys, group_values = frontier.popleft()
+            child, sub_pending = cls._layout(
+                group_keys, group_values, parent.level + 1, slot_factor, None, None
+            )
+            child.parent = parent
+            child.parent_slot = slot
+            parent.slot_type[slot] = SLOT_CHILD
+            parent.children[slot] = child
+            frontier.extend(sub_pending)
+        return root
+
+    @classmethod
+    def _layout(
+        cls,
+        keys: np.ndarray,
+        values: np.ndarray,
+        level: int,
+        slot_factor: float,
+        m: int | None,
+        model: LinearModel | None,
+    ) -> tuple["LippNode", list]:
+        """Lay out one node; conflict runs are returned, not built.
+
+        Returns ``(node, pending)`` where each pending entry is
+        ``(node, slot, keys, values)`` — a conflict group the caller
+        must attach as a child.
         """
         n = int(keys.size)
         if m is None:
             m = max(MIN_SLOTS, int(np.ceil(n * slot_factor)))
         if model is None and n == 2:
-            # Conflict pairs are the bulk of all recursive builds; the
-            # OLS fit over two ranks reduces analytically to endpoint
+            # Conflict pairs are the bulk of all child builds; the OLS
+            # fit over two ranks reduces analytically to endpoint
             # interpolation (first key -> slot 0, last -> slot m-1),
             # so skip the generic fit/predict/group machinery.  The
             # resulting layout is identical to the generic path's.
@@ -123,7 +159,7 @@ class LippNode:
             node.slot_type[m - 1] = SLOT_DATA
             node.slot_keys[m - 1] = keys[1]
             node.slot_values[m - 1] = values[1]
-            return node
+            return node, []
         if model is None:
             if n <= 1:
                 # Zero or one key: constant model (the n == 0 case is
@@ -136,7 +172,7 @@ class LippNode:
         node = cls(m, model, level)
         node.n_subtree_keys = n
         if n == 0:
-            return node
+            return node, []
         predicted = np.clip(
             np.round(model.predict_array(keys)).astype(np.int64), 0, m - 1
         )
@@ -149,7 +185,7 @@ class LippNode:
             )
         # Group consecutive keys sharing a predicted slot.  Runs of
         # one key (the common case) are written with a single scatter;
-        # only conflict runs recurse into children.
+        # only conflict runs become next-frontier children.
         boundaries = np.nonzero(np.diff(predicted))[0] + 1
         starts = np.concatenate([[0], boundaries])
         ends = np.concatenate([boundaries, [n]])
@@ -161,16 +197,11 @@ class LippNode:
             node.slot_keys[s_slots] = keys[s_starts]
             node.slot_values[s_slots] = values[s_starts]
         multi = ~single
-        for start, end in zip(starts[multi].tolist(), ends[multi].tolist()):
-            slot = int(predicted[start])
-            child = cls.from_keys(
-                keys[start:end], values[start:end], level + 1, slot_factor
-            )
-            child.parent = node
-            child.parent_slot = slot
-            node.slot_type[slot] = SLOT_CHILD
-            node.children[slot] = child
-        return node
+        pending = [
+            (node, int(predicted[start]), keys[start:end], values[start:end])
+            for start, end in zip(starts[multi].tolist(), ends[multi].tolist())
+        ]
+        return node, pending
 
     @property
     def m(self) -> int:

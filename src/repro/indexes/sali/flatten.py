@@ -21,11 +21,15 @@ from typing import Iterator
 import numpy as np
 
 from ...core.exceptions import IndexStateError
+from ..base import KEY_BYTES, NODE_HEADER_BYTES, VALUE_BYTES
 from ..pgm import PlaSegment, build_pla_segments
 
 __all__ = ["FlattenedNode"]
 
 DEFAULT_EPSILON = 8
+
+#: Bytes per PLA segment: first key + slope + intercept + position.
+SEGMENT_BYTES = KEY_BYTES + 8 + 8 + 8
 
 
 class FlattenedNode:
@@ -163,6 +167,14 @@ class FlattenedNode:
     def collect_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """Keys and values as sorted parallel arrays."""
         return self.keys.copy(), self.values.copy()
+
+    def leaf_size_bytes(self) -> int:
+        """Resident bytes: header + dense entries + PLA segments."""
+        return (
+            NODE_HEADER_BYTES
+            + int(self.keys.size) * (KEY_BYTES + VALUE_BYTES)
+            + self.segment_count * SEGMENT_BYTES
+        )
 
     def walk(self):
         """A flattened node is a leaf of the LIPP-style walk."""

@@ -16,13 +16,14 @@ import numpy as np
 
 from ...core.exceptions import IndexStateError
 from ..base import (
-    KEY_BYTES,
+    MODEL_BYTES,
     NODE_HEADER_BYTES,
+    OFFSET_BYTES,
     POINTER_BYTES,
-    VALUE_BYTES,
     BatchQueryStats,
     QueryStats,
     _as_query_array,
+    alloc_batch_outputs,
 )
 from ..lipp.index import SLOT_BYTES, LippIndex
 from ..lipp.node import DEFAULT_SLOT_FACTOR, SLOT_CHILD, SLOT_DATA, LippNode
@@ -31,16 +32,20 @@ from .probability import AccessTracker
 
 __all__ = ["SaliIndex"]
 
-SEGMENT_BYTES = KEY_BYTES + 8 + 8 + 8
-
 
 class SaliIndex(LippIndex):
     """Scalable Adaptive Learned Index (reproduction)."""
 
     name = "sali"
 
-    def __init__(self, root: LippNode, slot_factor: float, flatten_epsilon: int = DEFAULT_EPSILON):
-        super().__init__(root, slot_factor)
+    def __init__(
+        self,
+        root: LippNode,
+        slot_factor: float,
+        flatten_epsilon: int = DEFAULT_EPSILON,
+        use_flat: bool = True,
+    ):
+        super().__init__(root, slot_factor, use_flat=use_flat)
         self.tracker = AccessTracker()
         self._flatten_epsilon = int(flatten_epsilon)
 
@@ -51,9 +56,10 @@ class SaliIndex(LippIndex):
         values=None,
         slot_factor: float = DEFAULT_SLOT_FACTOR,
         flatten_epsilon: int = DEFAULT_EPSILON,
+        use_flat: bool = True,
     ) -> "SaliIndex":
         base = LippIndex.build(keys, values, slot_factor)
-        return cls(base.root, slot_factor, flatten_epsilon)
+        return cls(base.root, slot_factor, flatten_epsilon, use_flat=use_flat)
 
     # ------------------------------------------------------------------
     # Queries (track access statistics; handle flattened children)
@@ -86,23 +92,19 @@ class SaliIndex(LippIndex):
     def lookup_many(self, keys) -> BatchQueryStats:
         """Batched lookups with workload tracking.
 
-        Reuses LIPP's grouped frontier sweep
-        (:meth:`~repro.indexes.lipp.index.LippIndex._batch_descend`)
-        with tracking enabled: every visited node's ``access_count``
-        is credited per query passing through it
-        (aggregate-equivalent to per-query ``record_path``), and
-        flattened subtrees answer their groups via
+        Routes through LIPP's flat-view sweep with tracking enabled:
+        per-level visit counters are accumulated with one ``bincount``
+        per level and scattered back onto the nodes' ``access_count``
+        (aggregate-equivalent to per-query ``record_path``); flattened
+        subtrees answer their groups via
         :meth:`~repro.indexes.sali.flatten.FlattenedNode.lookup_batch`.
+        The node-object sweep remains the ``use_flat=False`` oracle.
         """
         q = _as_query_array(keys)
-        m = q.size
-        found = np.zeros(m, dtype=bool)
-        values = np.zeros(m, dtype=np.int64)
-        levels = np.zeros(m, dtype=np.int64)
-        steps = np.zeros(m, dtype=np.int64)
-        if m:
-            self.tracker.total_queries += m
-            self._batch_descend(q, found, values, levels, steps, track=True)
+        found, values, levels, steps = alloc_batch_outputs(q.size)
+        if q.size:
+            self.tracker.total_queries += int(q.size)
+            self._batch_lookup(q, found, values, levels, steps, track=True)
         return BatchQueryStats(keys=q, found=found, values=values, levels=levels, search_steps=steps)
 
     def key_level(self, key: int) -> int:
@@ -155,6 +157,7 @@ class SaliIndex(LippIndex):
             visited.n_subtree_keys += 1
         if kind == SLOT_DATA:
             node.make_conflict_child(slot, key, value, self._slot_factor)
+            self.invalidate_flat()
             for visited in path:
                 visited.conflicts_since_build += 1
             self._maybe_rebuild([n for n in path if isinstance(n, LippNode)])
@@ -199,6 +202,8 @@ class SaliIndex(LippIndex):
                     flattened += 1
                 else:
                     stack.append(child)
+        if flattened:
+            self.invalidate_flat()
         return flattened
 
     def flattened_nodes(self) -> list[FlattenedNode]:
@@ -209,14 +214,26 @@ class SaliIndex(LippIndex):
     # Structure metrics (flattened nodes accounted separately)
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:
+        """Resident bytes: LIPP's flat accounting + flattened leaves.
+
+        LIPP nodes are charged header + slots + model + CSR offset
+        exactly as in :meth:`LippIndex.size_bytes`; flattened leaves
+        report their dense arrays and PLA segments through
+        :meth:`~repro.indexes.sali.flatten.FlattenedNode.leaf_size_bytes`.
+        """
+        flat = self._flat_view()
+        if flat is not None:
+            total = flat.n_nodes * (NODE_HEADER_BYTES + MODEL_BYTES + OFFSET_BYTES)
+            total += flat.total_slots * SLOT_BYTES
+            total += flat.child_slot_count() * POINTER_BYTES
+            return total + sum(leaf.leaf_size_bytes() for leaf in flat.leaves)
         total = 0
         for node in self._root.walk():
             if isinstance(node, FlattenedNode):
-                total += NODE_HEADER_BYTES
-                total += node.keys.size * (KEY_BYTES + VALUE_BYTES)
-                total += node.segment_count * SEGMENT_BYTES
+                total += node.leaf_size_bytes()
             else:
-                total += NODE_HEADER_BYTES + node.m * SLOT_BYTES
+                total += NODE_HEADER_BYTES + MODEL_BYTES + OFFSET_BYTES
+                total += node.m * SLOT_BYTES
                 total += len(node.children) * POINTER_BYTES
         return total
 

@@ -618,6 +618,11 @@ class IndexService:
         if alpha is not None and alpha > 0.0 and self.family in SMOOTHABLE_FAMILIES:
             apply_csv(adapter_for(merged, self.constants), CsvConfig(alpha=alpha))
             self.stats.resmoothed_shards += 1
+        # Tree backends with a compiled flat lookup view pay its
+        # (re)compile before the swap, not on the first query after it.
+        prewarm = getattr(merged, "prewarm_flat", None)
+        if prewarm is not None:
+            prewarm()
         self.router.replace_shard(shard_no, merged)
         if self.cache_blocks > 0:
             with self._cache_lock:
