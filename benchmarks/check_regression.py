@@ -2,11 +2,11 @@
 against the committed baseline.
 
 Both reports are flattened to metric leaves: *throughput* metrics
-(numeric keys ending in ``_per_s``, higher is better) and *speedup*
-metrics (keys named ``speedup`` — dimensionless loop-vs-vectorised
-ratios measured on a single machine, so machine speed cancels out of
-them).  The gate then picks the strictest comparison the two reports
-support:
+(numeric keys ending in ``_per_s``, higher is better) and *ratio*
+metrics (keys named ``speedup`` or ending in ``_ratio`` —
+dimensionless same-machine timing ratios, so machine speed cancels
+out of them).  The gate then picks the strictest comparison the two
+reports support:
 
 * **strict** — the configs match (e.g. a full rerun against the
   committed full baseline): every throughput metric, and every
@@ -61,6 +61,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 THROUGHPUT_SUFFIX = "_per_s"
 #: Leaf key of the dimensionless loop-vs-vectorised ratio.
 SPEEDUP_KEY = "speedup"
+#: Leaf-key suffix of other dimensionless same-machine ratios (e.g.
+#: ``metrics_overhead``'s ``throughput_ratio``); classified like
+#: ``speedup`` — machine speed cancels, floors gate them absolutely.
+RATIO_SUFFIX = "_ratio"
+
+
+def _is_ratio_key(key: str) -> bool:
+    return key == SPEEDUP_KEY or key.endswith(RATIO_SUFFIX)
 
 
 def collect_metrics(report: dict, prefix: str = "") -> dict[str, float]:
@@ -73,7 +81,7 @@ def collect_metrics(report: dict, prefix: str = "") -> dict[str, float]:
         if isinstance(value, dict):
             out.update(collect_metrics(value, path))
         elif isinstance(value, (int, float)) and (
-            key.endswith(THROUGHPUT_SUFFIX) or key == SPEEDUP_KEY
+            key.endswith(THROUGHPUT_SUFFIX) or _is_ratio_key(key)
         ):
             out[path] = float(value)
     return out
@@ -118,8 +126,8 @@ def compare(
         base_v = base_metrics[path]
         fresh_v = fresh_metrics[path]
         drop = 1.0 - (fresh_v / base_v) if base_v > 0 else 0.0
-        is_speedup = path.endswith(f".{SPEEDUP_KEY}") or path == SPEEDUP_KEY
-        if is_speedup:
+        leaf = path.rsplit(".", 1)[-1]
+        if _is_ratio_key(leaf):
             gated = mode != "grace" and base_v >= min_ratio_speedup
         else:
             gated = mode != "ratio"

@@ -8,8 +8,15 @@ Commands:
 * ``csv``       — run one CSV experiment (build → optimise → measure).
 * ``levels``    — per-level query costs (the Fig. 1 view).
 * ``serve``     — simulate the sharded serving layer under a mixed
-  read/write workload (per-shard latency percentiles), or compare
-  sharded against monolithic with ``--compare``.
+  read/write workload (per-shard latency percentiles and a health
+  epilogue), or compare sharded against monolithic with ``--compare``;
+  ``--metrics-out`` streams JSON-lines metrics snapshots.
+* ``metrics``   — render or validate a ``--metrics-out`` JSON-lines
+  file (ASCII table, Prometheus text, or raw JSON).
+
+All output goes through the ``repro`` structured logger: the default
+``--log-format plain`` is byte-compatible with the old ``print``-based
+reporting, ``--log-format json`` emits one JSON object per line.
 
 Examples::
 
@@ -19,11 +26,14 @@ Examples::
     python -m repro csv --index alex --dataset facebook --alpha 0.1
     python -m repro serve --index lipp --shards 8 --dataset osm --ops 50000
     python -m repro serve --index btree --shards 4 --compare
+    python -m repro serve --metrics-out metrics.jsonl --ops 20000
+    python -m repro metrics --in metrics.jsonl --validate
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -32,8 +42,16 @@ from .core.smoothing import smooth_keys
 from .datasets import DATASETS, load, summarize
 from .evaluation import ascii_table, run_csv_experiment, run_level_query_times
 from .indexes import INDEX_FAMILIES
+from .obs.log import LOG_FORMATS, configure_logging, get_logger
 
 __all__ = ["main", "build_parser"]
+
+_log = get_logger("cli")
+
+
+def _say(msg: str = "") -> None:
+    """Emit one line of command output through the structured logger."""
+    _log.info(msg)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Learned indexes with distribution smoothing via virtual points",
+    )
+    parser.add_argument(
+        "--log-format", choices=LOG_FORMATS, default="plain",
+        help="output format: 'plain' (default, print-compatible) or 'json'",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -100,6 +122,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", action="store_true",
         help="run the sharded-vs-monolithic comparison table instead",
     )
+    p_serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable instrumentation and stream JSON-lines metrics "
+             "snapshots to PATH (truncated first)",
+    )
+    p_serve.add_argument(
+        "--metrics-every", type=int, default=0, metavar="N",
+        help="with --metrics-out, also snapshot every N workload batches",
+    )
+
+    p_metrics = sub.add_parser(
+        "metrics", help="render or validate a JSON-lines metrics file"
+    )
+    p_metrics.add_argument(
+        "--in", dest="input", required=True, metavar="PATH",
+        help="JSON-lines metrics file (from serve --metrics-out)",
+    )
+    p_metrics.add_argument(
+        "--format", choices=["table", "prom", "json"], default="table",
+        help="how to render the latest snapshot (default: table)",
+    )
+    p_metrics.add_argument(
+        "--validate", action="store_true",
+        help="check the stream against the snapshot schema instead of "
+             "rendering; exit 1 with one error per line if invalid",
+    )
 
     return parser
 
@@ -112,7 +160,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
         rows.append(
             [name, s.n, f"{s.global_r2:.4f}", f"{s.local_r2_mean:.4f}", s.pla_segments]
         )
-    print(
+    _say(
         ascii_table(
             ["dataset", "keys", "global R2", "local R2", "PLA segments"], rows
         )
@@ -130,36 +178,36 @@ def _cmd_smooth(args: argparse.Namespace) -> int:
         keys = load(args.dataset, args.n)
         source = f"{args.dataset} analogue"
     result = smooth_keys(keys, alpha=args.alpha)
-    print(f"source: {source} ({keys.size} keys), alpha={args.alpha}")
-    print(f"virtual points inserted: {result.n_virtual} / budget {result.budget}")
-    print(f"loss: {result.original_loss:,.1f} -> {result.final_loss:,.1f} "
+    _say(f"source: {source} ({keys.size} keys), alpha={args.alpha}")
+    _say(f"virtual points inserted: {result.n_virtual} / budget {result.budget}")
+    _say(f"loss: {result.original_loss:,.1f} -> {result.final_loss:,.1f} "
           f"({result.loss_improvement_pct:.1f}% better)")
-    print(f"elapsed: {result.elapsed_seconds:.2f}s"
+    _say(f"elapsed: {result.elapsed_seconds:.2f}s"
           + ("  (stopped early: no further gain)" if result.stopped_early else ""))
     if args.save:
         from .io import save_smoothing_result
 
         path = save_smoothing_result(args.save, result)
-        print(f"saved to {path}")
+        _say(f"saved to {path}")
     return 0
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
     keys = load(args.dataset, args.n)
     index = INDEX_FAMILIES[args.index].build(keys)
-    print(f"{args.index} over {keys.size} {args.dataset} keys:")
-    print(f"  height:     {index.height()}")
-    print(f"  nodes:      {index.node_count()}")
-    print(f"  size:       {index.size_bytes() / 1024:.1f} KiB")
+    _say(f"{args.index} over {keys.size} {args.dataset} keys:")
+    _say(f"  height:     {index.height()}")
+    _say(f"  nodes:      {index.node_count()}")
+    _say(f"  size:       {index.size_bytes() / 1024:.1f} KiB")
     histogram = getattr(index, "level_histogram", None)
     if histogram is not None:
-        print(f"  keys/level: {histogram()}")
+        _say(f"  keys/level: {histogram()}")
     return 0
 
 
 def _cmd_csv(args: argparse.Namespace) -> int:
     row = run_csv_experiment(args.index, args.dataset, n=args.n, alpha=args.alpha)
-    print(
+    _say(
         ascii_table(
             ["metric", "value"],
             [
@@ -180,13 +228,13 @@ def _cmd_csv(args: argparse.Namespace) -> int:
         from .io import export_rows_csv
 
         export_rows_csv(args.export, [row])
-        print(f"row exported to {args.export}")
+        _say(f"row exported to {args.export}")
     return 0
 
 
 def _cmd_levels(args: argparse.Namespace) -> int:
     rows = run_level_query_times(args.index, args.dataset, n=args.n)
-    print(
+    _say(
         ascii_table(
             ["level", "keys", "avg query (sim ns)"],
             [[r.level, r.n_keys_at_level, r.avg_simulated_ns] for r in rows],
@@ -205,6 +253,8 @@ def _parse_alpha(raw: str | None) -> float | str | None:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .evaluation.runner import run_sharded_experiment
+    from .obs.export import write_jsonl
+    from .obs.metrics import MetricsRegistry, scoped_registry
     from .serving import IndexService
     from .workloads import run_service_workload
 
@@ -220,7 +270,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_workers=args.threads or None,
         )
-        print(
+        _say(
             ascii_table(
                 ["configuration", "build s", "lookups/s", "avg sim ns",
                  "p99 sim ns", "cost imbalance"],
@@ -235,7 +285,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     keys = load(args.dataset, args.n)
-    with IndexService.build(
+    # --metrics-out flips the whole stack's instrumentation on by
+    # installing an enabled registry globally for the run; every
+    # layer (smoothing, indexes, router, service) reports into it.
+    registry = MetricsRegistry(enabled=args.metrics_out is not None)
+    if args.metrics_out:
+        open(args.metrics_out, "w", encoding="utf-8").close()
+
+    def snap() -> None:
+        if args.metrics_out:
+            write_jsonl(args.metrics_out, registry)
+
+    with scoped_registry(registry), IndexService.build(
         keys,
         family=args.index,
         n_shards=args.shards,
@@ -245,22 +306,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_blocks=args.cache_blocks,
         staleness_threshold=args.staleness,
     ) as service:
+        snap()
         plan = service.plan
-        print(
+        _say(
             f"{args.index} x {plan.n_shards} shards ({plan.mode}) over "
             f"{keys.size} {args.dataset} keys; threads={args.threads or 'off'}, "
             f"cache={args.cache_blocks} blocks"
         )
-        print(
+        _say(
             "  shard sizes: "
             + ", ".join(str(s.size) for s in plan.shard_keys)
             + f"  (cost imbalance {plan.cost_imbalance():.2f})"
         )
         if any(a is not None for a in plan.alphas):
-            print(
+            _say(
                 "  per-shard alpha: "
                 + ", ".join("-" if a is None else f"{a:.3f}" for a in plan.alphas)
             )
+        every = max(args.metrics_every, 0)
         report = run_service_workload(
             service,
             keys,
@@ -269,22 +332,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_size=args.batch,
             distribution="zipf" if args.zipf else "uniform",
             seed=args.seed,
+            on_batch=(
+                (lambda b: snap() if (b + 1) % every == 0 else None)
+                if args.metrics_out and every
+                else None
+            ),
         )
-        print(
+        _say(
             f"\nworkload: {report.n_reads} reads / {report.n_writes} writes in "
             f"{report.n_batches} batches, {report.wall_seconds:.2f}s wall "
             f"({report.ops_per_second:,.0f} ops/s), read hit rate "
             f"{report.read_hit_rate:.3f}"
         )
         stats = service.stats
-        print(
+        _say(
             f"buffers: {stats.buffer_hits} hits, {stats.merges} merges "
             f"({stats.merged_keys} keys merged, {stats.resmoothed_shards} "
             f"re-smoothed); cache: {stats.cache_hits} hits / "
             f"{stats.cache_misses} misses ({stats.cache_fills} fills)"
         )
-        print("\nper-shard latency percentiles (simulated ns):")
-        print(service.latency_report().to_table())
+        _say("\nper-shard latency percentiles (simulated ns):")
+        _say(service.latency_report().to_table())
+        health = service.health_report()
+        _say("\nshard health:")
+        _say(health.to_table())
+        for warning in health.warnings():
+            _say(f"  warning: {warning}")
+        snap()
+        if args.metrics_out:
+            _say(f"\nmetrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs.export import snapshot_table, snapshot_to_prometheus, validate_metrics_lines
+
+    try:
+        with open(args.input, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        _say(f"cannot read {args.input}: {exc}")
+        return 1
+    if args.validate:
+        errors = validate_metrics_lines(lines)
+        if errors:
+            for error in errors:
+                _say(error)
+            return 1
+        n = sum(1 for line in lines if line.strip())
+        _say(f"{args.input}: {n} snapshot line(s), schema valid")
+        return 0
+    snaps = [json.loads(line) for line in lines if line.strip()]
+    if not snaps:
+        _say(f"{args.input}: no snapshot lines")
+        return 1
+    latest = snaps[-1]
+    if args.format == "json":
+        _say(json.dumps(latest, sort_keys=True))
+    elif args.format == "prom":
+        _say(snapshot_to_prometheus(latest))
+    else:
+        _say(snapshot_table(latest))
     return 0
 
 
@@ -295,12 +403,14 @@ _COMMANDS = {
     "csv": _cmd_csv,
     "levels": _cmd_levels,
     "serve": _cmd_serve,
+    "metrics": _cmd_metrics,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_format)
     return _COMMANDS[args.command](args)
 
 

@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.tracing import trace as _span
 from .candidates import all_free_values
 from .exceptions import SmoothingBudgetError
 from .linear_model import LinearModel
@@ -210,6 +212,12 @@ def _best_candidate(stats: SegmentStats) -> tuple[int, float] | None:
             best_loss = float(losses[pick])
             best_value = int(values[pick])
 
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("smooth_gap_segments_total").inc(int(lows.size))
+        reg.counter("smooth_candidate_evals_total").inc(
+            sum(int(v.size) for v, __, __ in blocks)
+        )
     assert best_value is not None
     return best_value, best_loss
 
@@ -236,26 +244,32 @@ def smooth_keys(
     original = validate_keys(keys)
     lam = resolve_budget(original.size, alpha, budget)
     start = time.perf_counter()
-    stats = SegmentStats(original)
-    previous_loss = stats.base_loss()
-    original_loss = previous_loss
-    trace = [previous_loss]
-    virtual: list[int] = []
-    stopped_early = False
-    while len(virtual) < lam:
-        found = _best_candidate(stats)
-        if found is None:
-            stopped_early = True
-            break
-        value, loss = found
-        if loss >= previous_loss - min_gain:
-            stopped_early = True
-            break
-        stats.commit(value)
-        virtual.append(value)
-        previous_loss = loss
-        trace.append(loss)
+    reg = get_registry()
+    with _span("smooth_keys", registry=reg, n=int(original.size), budget=lam):
+        stats = SegmentStats(original)
+        previous_loss = stats.base_loss()
+        original_loss = previous_loss
+        trace = [previous_loss]
+        virtual: list[int] = []
+        stopped_early = False
+        while len(virtual) < lam:
+            found = _best_candidate(stats)
+            if found is None:
+                stopped_early = True
+                break
+            value, loss = found
+            if loss >= previous_loss - min_gain:
+                stopped_early = True
+                break
+            stats.commit(value)
+            virtual.append(value)
+            previous_loss = loss
+            trace.append(loss)
     elapsed = time.perf_counter() - start
+    if reg.enabled:
+        reg.counter("smooth_runs_total").inc()
+        reg.counter("smooth_virtual_points_total").inc(len(virtual))
+        reg.histogram("smooth_seconds").observe(elapsed)
     return SmoothingResult(
         original_keys=original,
         virtual_points=virtual,

@@ -31,6 +31,8 @@ from ..base import (
     group_runs,
     prepare_key_values,
 )
+from ...obs.metrics import get_registry
+from ...obs.tracing import trace
 from .flat import FlatLipp, StaleFlatError
 from .node import DEFAULT_SLOT_FACTOR, SLOT_CHILD, SLOT_DATA, SLOT_EMPTY, LippNode
 
@@ -106,7 +108,13 @@ class LippIndex(LearnedIndex):
         if not self._use_flat or self._flat_uncompilable:
             return None
         if self._flat is None:
-            self._flat = FlatLipp.compile(self._root)
+            reg = get_registry()
+            if reg.enabled:
+                with trace("flat_compile", registry=reg, family=self.name):
+                    self._flat = FlatLipp.compile(self._root)
+                reg.counter("flat_compiles_total", family=self.name).inc()
+            else:
+                self._flat = FlatLipp.compile(self._root)
             if self._flat is None:
                 self._flat_uncompilable = True
         return self._flat
@@ -184,6 +192,9 @@ class LippIndex(LearnedIndex):
                 self._flat_sweep(flat, q, found, values, levels, steps, track)
                 return
             except StaleFlatError:
+                reg = get_registry()
+                if reg.enabled:
+                    reg.counter("flat_stale_retries_total", family=self.name).inc()
                 self.invalidate_flat()
                 flat = self._flat_view()
                 if flat is not None:
@@ -366,6 +377,10 @@ class LippIndex(LearnedIndex):
         arr, vals = _as_batch_kv(keys, values)
         if arr.size == 0:
             return
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("bulk_insert_batches_total", family=self.name).inc()
+            reg.counter("bulk_insert_keys_total", family=self.name).inc(int(arr.size))
         bkeys, bvals = dedupe_last_wins(arr, vals)
         n = self._root.n_subtree_keys
         dense = n <= self.BULK_SMALL_SUBTREE or bkeys.size >= self.BULK_REBUILD_FRACTION * n
@@ -374,12 +389,18 @@ class LippIndex(LearnedIndex):
             if flat is not None:
                 try:
                     self._gapped_merge(flat, bkeys, bvals)
+                    if reg.enabled:
+                        reg.counter("bulk_gapped_merges_total", family=self.name).inc()
                     return
                 except StaleFlatError:
+                    if reg.enabled:
+                        reg.counter("flat_stale_retries_total", family=self.name).inc()
                     self.invalidate_flat()
                     flat = self._flat_view()
                     if flat is not None:
                         self._gapped_merge(flat, bkeys, bvals)
+                        if reg.enabled:
+                            reg.counter("bulk_gapped_merges_total", family=self.name).inc()
                         return
         replacement, __ = self._bulk_into(self._root, bkeys, bvals)
         if replacement is not self._root:
@@ -387,6 +408,8 @@ class LippIndex(LearnedIndex):
             replacement.parent_slot = None
             self._root = replacement
         self.invalidate_flat()
+        if reg.enabled:
+            reg.counter("bulk_rebuilds_total", family=self.name).inc()
 
     def _gapped_merge(self, flat: FlatLipp, bkeys: np.ndarray, bvals: np.ndarray) -> None:
         """Merge a sorted unique batch through the compiled flat view.

@@ -1,0 +1,55 @@
+"""Observability: structured metrics, tracing spans, logs, and health.
+
+The repo-wide instrumentation substrate (dependency-free: stdlib +
+numpy).  Every subsystem reports through one
+:class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+**mergeable** fixed-layout log-bucket histograms (percentiles
+aggregate across shards and processes by summing bucket counts), plus
+lightweight :func:`~repro.obs.tracing.trace` spans into a bounded ring
+buffer.  Exporters render the registry as JSON-lines snapshots,
+Prometheus text, or the ``repro metrics`` ASCII table.
+
+Instrumentation is off by default: the global registry starts
+disabled, and every instrumented hot path guards with a single
+``registry.enabled`` check, so the library costs nothing until the
+``serve`` CLI (``--metrics-out``) or an embedding application installs
+an enabled registry via :func:`~repro.obs.metrics.set_registry` /
+:class:`~repro.obs.metrics.scoped_registry`.
+
+See README "Observability" for the metric catalog and span names.
+"""
+
+from .health import DRIFT_WARN, IMBALANCE_WARN, HealthReport, ShardHealth
+from .log import LOG_FORMATS, configure_logging, get_logger, log_event
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metric_key,
+    scoped_registry,
+    set_registry,
+)
+from .tracing import SpanRecord, trace
+
+__all__ = [
+    "Counter",
+    "DRIFT_WARN",
+    "Gauge",
+    "HealthReport",
+    "Histogram",
+    "IMBALANCE_WARN",
+    "LOG_FORMATS",
+    "MetricsRegistry",
+    "ShardHealth",
+    "SpanRecord",
+    "configure_logging",
+    "get_logger",
+    "get_registry",
+    "log_event",
+    "metric_key",
+    "scoped_registry",
+    "set_registry",
+    "trace",
+]

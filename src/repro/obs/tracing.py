@@ -1,0 +1,117 @@
+"""Lightweight tracing spans over the metrics registry.
+
+A span is one timed block with a name, optional tags, and its nesting
+depth within the current thread::
+
+    with trace("merge_shard", shard=3):
+        ...merge work...
+
+On exit the span records wall time into the registry's ring buffer
+(bounded, oldest evicted first) *and* into the mergeable
+``span_seconds{span=<name>}`` histogram, so exporters get both the
+recent raw spans and long-run duration percentiles.
+
+Cost model: when the registry is disabled — or the deterministic
+every-N sampler skips this span — :func:`trace` returns one shared
+no-op singleton, so an untraced block costs a guard and no
+allocation.  Nesting is tracked per thread with a ``threading.local``
+stack; spans on different threads never see each other as parents.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = ["SpanRecord", "trace"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, as retained in the registry ring buffer."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    depth: int
+    tags: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, as embedded in snapshot lines."""
+        return {
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "duration_s": round(self.duration_s, 6),
+            "depth": self.depth,
+            "tags": dict(self.tags),
+        }
+
+
+_stack = threading.local()
+
+
+def _depth() -> int:
+    return getattr(_stack, "depth", 0)
+
+
+class _NoopSpan:
+    """Shared do-nothing span for disabled/sampled-out traces."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("_registry", "name", "tags", "_start")
+
+    def __init__(self, registry: MetricsRegistry, name: str, tags: dict) -> None:
+        self._registry = registry
+        self.name = name
+        self.tags = tags
+
+    def __enter__(self) -> "_Span":
+        _stack.depth = _depth() + 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration = time.perf_counter() - self._start
+        depth = _depth()
+        _stack.depth = depth - 1
+        self._registry.record_span(
+            SpanRecord(
+                name=self.name,
+                start_s=self._start,
+                duration_s=duration,
+                depth=depth,
+                tags=self.tags,
+            )
+        )
+        return False
+
+
+def trace(name: str, registry: MetricsRegistry | None = None, **tags):
+    """Context manager timing one named block (see module docstring).
+
+    Args:
+        name: span name; also the ``span=`` label of the duration
+            histogram, so keep the cardinality low (operation names,
+            not per-request ids — put those in *tags*).
+        registry: explicit registry; defaults to the global one.
+        **tags: arbitrary key/values stored on the span record.
+    """
+    reg = registry if registry is not None else get_registry()
+    if not reg.enabled or not reg.sample_span():
+        return _NOOP
+    return _Span(reg, name, tags)

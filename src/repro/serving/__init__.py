@@ -12,7 +12,16 @@ BatchQueryStats` back into positional order
 IndexService` fronts the shards with a read-through LRU block cache,
 per-shard write buffers with staleness-triggered merge + re-smoothing,
 and per-shard latency percentile reporting.
+
+Observability: the service keeps always-on per-shard latency
+histograms (mergeable fixed-layout log buckets, see :mod:`repro.obs`)
+behind :meth:`~repro.serving.service.IndexService.latency_report` and
+:meth:`~repro.serving.service.IndexService.health_report`; everything
+else — counters, gauges, spans — only records when an enabled
+:class:`~repro.obs.metrics.MetricsRegistry` is installed.
 """
+
+from ..obs.health import HealthReport, ShardHealth
 
 from .partitioner import (
     SMOOTHABLE_FAMILIES,
@@ -26,9 +35,11 @@ from .router import RoutedBatch, ShardRouter
 from .service import IndexService, LatencyReport, ServiceStats
 
 __all__ = [
+    "HealthReport",
     "IndexService",
     "LatencyReport",
     "RoutedBatch",
+    "ShardHealth",
     "SMOOTHABLE_FAMILIES",
     "ServiceStats",
     "ShardPlan",

@@ -27,6 +27,7 @@ from ..indexes.base import (
     _as_query_array,
     dedupe_last_wins,
 )
+from ..obs.metrics import get_registry
 
 __all__ = ["RoutedBatch", "ShardRouter", "dedupe_last_wins"]
 
@@ -189,6 +190,16 @@ class ShardRouter:
         gathered = BatchQueryStats(
             keys=q, found=found, values=values, levels=levels, search_steps=steps
         )
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("router_batches_total").inc()
+            reg.counter("router_routed_keys_total").inc(m)
+            reg.histogram("router_batch_keys").observe(m)
+            # Scatter width: shards this batch actually touched — the
+            # fan-out the gather pays for.
+            reg.histogram("router_scatter_shards").observe(
+                sum(1 for b in per_shard if b is not None)
+            )
         return RoutedBatch(
             gathered=gathered, shard_ids=shard_ids, per_shard=tuple(per_shard)
         )
@@ -228,6 +239,9 @@ class ShardRouter:
                 )
             )
         self._map_shards(tasks)
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("router_inserted_keys_total").inc(int(arr.size))
         return counts
 
     def _materialise(self, run_keys: np.ndarray, run_values: np.ndarray) -> LearnedIndex:

@@ -35,7 +35,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future, wait as futures_wait
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -49,11 +49,15 @@ from ..indexes.base import (
     _as_batch_kv,
     _as_query_array,
 )
+from ..obs.health import HealthReport, IMBALANCE_WARN, ShardHealth, shard_status
+from ..obs.metrics import Histogram, MetricsRegistry, get_registry
+from ..obs.tracing import trace
 from .partitioner import (
     SMOOTHABLE_FAMILIES,
     ShardPlan,
     build_shard_indexes,
     plan_shards,
+    predicted_shard_cost,
 )
 from .router import ShardRouter, dedupe_last_wins
 
@@ -68,11 +72,6 @@ def _memtable_steps(n: int) -> int:
     """Probe charge for one sorted-memtable search over *n* entries."""
     return max(1, int(math.ceil(math.log2(n + 1))))
 
-
-#: Per-shard cap on retained latency samples; beyond it the stored
-#: samples are decimated 2:1 (uniformly, so percentiles stay unbiased)
-#: to bound a long-lived service's memory.
-LATENCY_SAMPLE_CAP = 262_144
 
 #: Default bound on how long :meth:`IndexService.close` waits for
 #: in-flight background merges before abandoning them.
@@ -101,6 +100,10 @@ class _MergeWorker:
         future: Future = Future()
         self._queue.put((future, fn, args))
         return future
+
+    def qsize(self) -> int:
+        """Merges accepted but not yet picked up by the worker."""
+        return self._queue.qsize()
 
     def _run(self) -> None:
         while True:
@@ -181,14 +184,14 @@ class LatencyReport:
         )
 
 
-def _latency_row(shard: int, ns: np.ndarray) -> ShardLatency:
+def _latency_row(shard: int, hist: Histogram) -> ShardLatency:
     return ShardLatency(
         shard=shard,
-        n_queries=int(ns.size),
-        avg_ns=float(ns.mean()),
-        p50_ns=float(np.percentile(ns, 50)),
-        p90_ns=float(np.percentile(ns, 90)),
-        p99_ns=float(np.percentile(ns, 99)),
+        n_queries=hist.count,
+        avg_ns=hist.mean,
+        p50_ns=hist.percentile(50),
+        p90_ns=hist.percentile(90),
+        p99_ns=hist.percentile(99),
     )
 
 
@@ -253,6 +256,7 @@ class IndexService:
         block_bits: int = 14,
         staleness_threshold: float = 0.1,
         background_merge: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         self.router = router
         self.family = family
@@ -263,6 +267,48 @@ class IndexService:
         self.staleness_threshold = float(staleness_threshold)
         self.stats = ServiceStats()
         self._buffers = [_WriteBuffer() for _ in range(router.n_shards)]
+        #: Observability.  The per-shard latency histograms are
+        #: *always on* — they are what `latency_report()` and
+        #: `health_report()` read, replacing the decimated sample
+        #: list, at bounded memory and with mergeable percentiles.
+        #: Everything else (mirrored counters, gauges, spans) is
+        #: guarded on ``self.metrics.enabled``.
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._lat_hists = [Histogram() for _ in range(router.n_shards)]
+        for shard_no, hist in enumerate(self._lat_hists):
+            self.metrics.register_histogram("service_lookup_ns", hist, shard=shard_no)
+        reg = self.metrics
+        self._c_lookups = reg.counter("service_lookups_total")
+        self._c_inserts = reg.counter("service_inserts_total")
+        self._c_buffer_hits = reg.counter("service_buffer_hits_total")
+        self._c_cache_hits = reg.counter("service_cache_hits_total")
+        self._c_cache_misses = reg.counter("service_cache_misses_total")
+        self._c_cache_fills = reg.counter("service_cache_fills_total")
+        self._c_merges = reg.counter("service_merges_total")
+        self._c_merged_keys = reg.counter("service_merged_keys_total")
+        self._c_resmoothed = reg.counter("service_resmoothed_shards_total")
+        self._h_batch = reg.histogram("service_batch_keys")
+        self._h_merge_s = reg.histogram("service_merge_seconds")
+        self._g_queue = reg.gauge("merge_queue_depth")
+        self._g_staleness = [
+            reg.gauge("shard_staleness", shard=i) for i in range(router.n_shards)
+        ]
+        self._g_buffered = [
+            reg.gauge("shard_buffered_keys", shard=i) for i in range(router.n_shards)
+        ]
+        #: Compile-time expected per-key cost (simulated ns) of every
+        #: shard — the drift baseline.  Seeded from the plan's Eq. 22
+        #: predictions; refreshed whenever a merge rebuilds a shard
+        #: from its full key set.
+        base = self.constants.base_ns
+        costs = plan.predicted_costs
+        sizes = [k.size for k in plan.shard_keys]
+        self._expected_ns = [
+            base + costs[i] / max(sizes[i], 1)
+            if i < len(costs) and i < len(sizes) and sizes[i] > 0
+            else 0.0
+            for i in range(router.n_shards)
+        ]
         #: (shard, block_id) -> (sorted keys, values) of the block span.
         #: The lock serialises LRU mutation against the merge thread's
         #: invalidations.
@@ -272,8 +318,6 @@ class IndexService:
         #: shard; read-through fills started before the bump are
         #: discarded instead of caching a pre-merge snapshot.
         self._shard_epochs = [0] * router.n_shards
-        self._ns_samples: list[list[np.ndarray]] = [[] for _ in range(router.n_shards)]
-        self._ns_seen = [0] * router.n_shards
         self._merge_pool = _MergeWorker() if background_merge else None
         self._merge_futures: list[Future] = []
         self._closed = False
@@ -297,6 +341,7 @@ class IndexService:
         block_bits: int = 14,
         staleness_threshold: float = 0.1,
         background_merge: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> "IndexService":
         """Partition → smooth → build → route, in one call."""
         consts = constants or CostConstants()
@@ -319,6 +364,7 @@ class IndexService:
             block_bits=block_bits,
             staleness_threshold=staleness_threshold,
             background_merge=background_merge,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------
@@ -360,6 +406,9 @@ class IndexService:
         q = _as_query_array(keys)
         m = int(q.size)
         self.stats.n_lookups += m
+        if self.metrics.enabled:
+            self._c_lookups.inc(m)
+            self._h_batch.observe(m)
         shard_ids = self.router.shard_of(q)
         found = np.zeros(m, dtype=bool)
         values = np.zeros(m, dtype=np.int64)
@@ -389,6 +438,8 @@ class IndexService:
             steps[hit_idx] = probe
             pending[hit_idx] = False
             self.stats.buffer_hits += int(hit_idx.size)
+            if self.metrics.enabled:
+                self._c_buffer_hits.inc(int(hit_idx.size))
             # Buffer misses pay the failed memtable probe on top of
             # whatever the cache/shard path charges.
             extra_steps[idx[~hit]] += probe
@@ -456,6 +507,8 @@ class IndexService:
                     self._cache.move_to_end(token)
             if entry is None:
                 self.stats.cache_misses += int(group.size)
+                if self.metrics.enabled:
+                    self._c_cache_misses.inc(int(group.size))
                 continue
             ckeys, cvals = entry
             sub = q[group]
@@ -469,6 +522,8 @@ class IndexService:
             steps[group] = 1
             pending[group] = False
             self.stats.cache_hits += int(group.size)
+            if self.metrics.enabled:
+                self._c_cache_hits.inc(int(group.size))
 
     def _fill_blocks(self, q: np.ndarray, shard_ids: np.ndarray) -> None:
         """Read-through fill of the uncached blocks a batch touched.
@@ -505,6 +560,8 @@ class IndexService:
                 while len(self._cache) > self.cache_blocks:
                     self._cache.popitem(last=False)
             self.stats.cache_fills += 1
+            if self.metrics.enabled:
+                self._c_cache_fills.inc()
 
     def _invalidate_blocks(self, keys: np.ndarray, shard_ids: np.ndarray) -> None:
         blocks = keys >> self.block_bits
@@ -531,6 +588,9 @@ class IndexService:
         if arr.size == 0:
             return
         self.stats.n_inserts += int(arr.size)
+        instrumented = self.metrics.enabled
+        if instrumented:
+            self._c_inserts.inc(int(arr.size))
         shard_ids, order, offsets = self.router.group_by_shard(arr)
         if self.cache_blocks > 0:
             self._invalidate_blocks(arr, shard_ids)
@@ -540,7 +600,11 @@ class IndexService:
                 continue
             run = order[lo:hi]
             self._buffers[shard_no].put_run(arr[run], vals[run])
-            if self._staleness(shard_no) > self.staleness_threshold:
+            staleness = self._staleness(shard_no)
+            if instrumented:
+                self._g_staleness[shard_no].set(staleness)
+                self._g_buffered[shard_no].set(len(self._buffers[shard_no]))
+            if staleness > self.staleness_threshold:
                 self._schedule_merge(shard_no)
 
     def _staleness(self, shard_no: int) -> float:
@@ -556,6 +620,12 @@ class IndexService:
             self._merge_futures.append(
                 self._merge_pool.submit(self._merge_shard, shard_no)
             )
+            if self.metrics.enabled:
+                self._g_queue.set(self.merge_queue_depth())
+
+    def merge_queue_depth(self) -> int:
+        """Scheduled background merges not yet completed."""
+        return sum(1 for f in self._merge_futures if not f.done())
 
     def _merge_shard(self, shard_no: int) -> None:
         """Merge one shard's buffer into its index and re-smooth.
@@ -574,6 +644,17 @@ class IndexService:
         merged_entries = buffer.snapshot()
         if not merged_entries:
             return
+        with trace(
+            "merge_shard", registry=self.metrics,
+            shard=shard_no, keys=len(merged_entries),
+        ):
+            self._run_merge(shard_no, buffer, merged_entries)
+
+    def _run_merge(
+        self, shard_no: int, buffer: _WriteBuffer, merged_entries: dict[int, int]
+    ) -> None:
+        instrumented = self.metrics.enabled
+        merge_start = time.perf_counter() if instrumented else 0.0
         bkeys = np.asarray(sorted(merged_entries), dtype=np.int64)
         bvals = np.asarray([merged_entries[k] for k in bkeys.tolist()], dtype=np.int64)
         shard = self.router.shards[shard_no]
@@ -583,8 +664,14 @@ class IndexService:
             and self.family in UPDATABLE_FAMILIES
             and self._merge_pool is None
         )
+        #: Full key set of a rebuilt shard — refreshes the drift
+        #: baseline (compile-time expected cost).  In-place merges keep
+        #: the previous baseline: the structure is incrementally
+        #: updated, not recompiled.
+        expected_keys: np.ndarray | None = None
         if shard is None:
             merged = cls.build(bkeys, bvals)
+            expected_keys = bkeys
         elif in_place:
             # Drain the buffer through the vectorised bulk-ingest path:
             # the tree backends sorted-merge-rebuild their touched
@@ -604,18 +691,21 @@ class IndexService:
             old_vals = np.fromiter(
                 (p[1] for p in pairs), dtype=np.int64, count=len(pairs)
             )
-            merged = cls.build(
-                *dedupe_last_wins(
-                    np.concatenate([old_keys, bkeys]),
-                    np.concatenate([old_vals, bvals]),
-                )
+            merged_keys, merged_vals = dedupe_last_wins(
+                np.concatenate([old_keys, bkeys]),
+                np.concatenate([old_vals, bvals]),
             )
+            merged = cls.build(merged_keys, merged_vals)
+            expected_keys = merged_keys
         alpha = (
             self.plan.alphas[shard_no]
             if shard_no < len(self.plan.alphas)
             else None
         )
-        if alpha is not None and alpha > 0.0 and self.family in SMOOTHABLE_FAMILIES:
+        resmoothed = (
+            alpha is not None and alpha > 0.0 and self.family in SMOOTHABLE_FAMILIES
+        )
+        if resmoothed:
             apply_csv(adapter_for(merged, self.constants), CsvConfig(alpha=alpha))
             self.stats.resmoothed_shards += 1
         # Tree backends with a compiled flat lookup view pay its
@@ -634,6 +724,20 @@ class IndexService:
         # Drop exactly what was merged: writes that landed mid-merge
         # stay buffered for the next one.
         buffer.drop_merged(merged_entries)
+        if expected_keys is not None and expected_keys.size:
+            self._expected_ns[shard_no] = self.constants.base_ns + (
+                predicted_shard_cost(expected_keys, self.constants)
+                / float(expected_keys.size)
+            )
+        if instrumented:
+            self._h_merge_s.observe(time.perf_counter() - merge_start)
+            self._c_merges.inc()
+            self._c_merged_keys.inc(len(merged_entries))
+            if resmoothed:
+                self._c_resmoothed.inc()
+            self._g_queue.set(self.merge_queue_depth())
+            self._g_staleness[shard_no].set(self._staleness(shard_no))
+            self._g_buffered[shard_no].set(len(buffer))
 
     def flush(self) -> None:
         """Merge every non-empty buffer now (and wait for background merges)."""
@@ -687,37 +791,87 @@ class IndexService:
     def _record_latency(self, shard_ids: np.ndarray, batch: BatchQueryStats) -> None:
         ns = batch.simulated_ns(self.constants)
         for shard_no in np.unique(shard_ids).tolist():
-            sample = ns[shard_ids == shard_no]
-            self._ns_samples[shard_no].append(sample)
-            self._ns_seen[shard_no] += int(sample.size)
-            stored = sum(s.size for s in self._ns_samples[shard_no])
-            if stored > LATENCY_SAMPLE_CAP:
-                self._ns_samples[shard_no] = [
-                    np.concatenate(self._ns_samples[shard_no])[::2]
-                ]
+            self._lat_hists[shard_no].observe_array(ns[shard_ids == shard_no])
 
     def latency_report(self) -> LatencyReport:
         """Per-shard p50/p90/p99/avg of the simulated lookup latencies.
 
-        ``n_queries`` counts every query served; the percentiles are
-        computed from the retained samples (decimated 2:1 beyond
-        :data:`LATENCY_SAMPLE_CAP` per shard).
+        ``n_queries`` counts every query served.  The averages are
+        exact; the percentiles come from the always-on fixed-layout
+        log-bucket histograms (within one relative bucket width,
+        ``2**(1/4)``, of the exact order statistic), and the ``total``
+        row is the *merge* of the per-shard histograms — the same
+        aggregation that works across processes.
         """
         rows = []
-        all_ns = []
-        total_seen = 0
-        for shard_no, samples in enumerate(self._ns_samples):
-            if not samples:
+        total_hist = Histogram()
+        for shard_no, hist in enumerate(self._lat_hists):
+            if hist.count == 0:
                 continue
-            ns = np.concatenate(samples)
-            all_ns.append(ns)
-            total_seen += self._ns_seen[shard_no]
-            row = _latency_row(shard_no, ns)
-            rows.append(replace(row, n_queries=self._ns_seen[shard_no]))
-        if not all_ns:
+            rows.append(_latency_row(shard_no, hist))
+            total_hist.merge(hist)
+        if not rows:
             return LatencyReport(shards=(), total=None)
-        total = replace(_latency_row(-1, np.concatenate(all_ns)), n_queries=total_seen)
-        return LatencyReport(shards=tuple(rows), total=total)
+        return LatencyReport(shards=tuple(rows), total=_latency_row(-1, total_hist))
+
+    def health_report(self) -> HealthReport:
+        """Service-wide health: staleness, drift, and imbalance signals.
+
+        Per shard: key/buffer volume, staleness (the merge trigger
+        ratio), observed latency moments from the always-on
+        histograms, the compile-time expected per-key cost (Eq. 22,
+        refreshed when a merge rebuilds the shard), and the drift of
+        observed mean over that expectation.  Aggregates: merge-queue
+        depth, cache/buffer hit rates, and the observed per-shard cost
+        imbalance (max/mean of shard means — the runtime counterpart
+        of the partitioner's predicted ``cost_imbalance``).
+        """
+        shards = []
+        shard_means = []
+        for shard_no, hist in enumerate(self._lat_hists):
+            shard = self.router.shards[shard_no]
+            staleness = self._staleness(shard_no)
+            expected = self._expected_ns[shard_no]
+            drift = hist.mean / expected - 1.0 if expected > 0 and hist.count else 0.0
+            if hist.count:
+                shard_means.append(hist.mean)
+            shards.append(
+                ShardHealth(
+                    shard=shard_no,
+                    n_keys=shard.n_keys if shard is not None else 0,
+                    buffered=len(self._buffers[shard_no]),
+                    staleness=staleness,
+                    queries=hist.count,
+                    avg_ns=hist.mean,
+                    p50_ns=hist.percentile(50),
+                    p90_ns=hist.percentile(90),
+                    p99_ns=hist.percentile(99),
+                    expected_ns=expected,
+                    drift=drift,
+                    status=shard_status(staleness, self.staleness_threshold, drift),
+                )
+            )
+        imbalance = (
+            max(shard_means) / (sum(shard_means) / len(shard_means))
+            if shard_means
+            else 0.0
+        )
+        status = "ok"
+        if any(s.status != "ok" for s in shards) or imbalance > IMBALANCE_WARN:
+            status = "warn"
+        return HealthReport(
+            shards=tuple(shards),
+            merge_queue_depth=self.merge_queue_depth(),
+            merges=self.stats.merges,
+            cache_hit_rate=self.stats.cache_hit_rate,
+            buffer_hit_rate=(
+                self.stats.buffer_hits / self.stats.n_lookups
+                if self.stats.n_lookups
+                else 0.0
+            ),
+            cost_imbalance=imbalance,
+            status=status,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -48,6 +49,7 @@ def run_service_workload(
     batch_size: int = 1024,
     distribution: str = "uniform",
     seed: int = 0,
+    on_batch: Callable[[int], None] | None = None,
 ) -> ServiceWorkloadReport:
     """Drive *service* with ``n_ops`` mixed operations in batches.
 
@@ -57,6 +59,10 @@ def run_service_workload(
     range — the fresh keys land in the service's write buffers and are
     read back by later batches once sampled in (buffered reads are
     part of what the driver exercises).
+
+    *on_batch*, when given, is called with the 0-based batch number
+    after each batch completes — the hook the serve CLI uses to emit
+    periodic metrics snapshots mid-workload.
     """
     if not 0.0 <= read_fraction <= 1.0:
         raise InvalidKeysError("read_fraction must be in [0, 1]")
@@ -92,6 +98,8 @@ def run_service_workload(
             service.insert_many(fresh)
             known = np.concatenate([known, np.unique(fresh)])
             n_writes += n_write
+        if on_batch is not None:
+            on_batch(n_batches)
         n_batches += 1
         remaining -= batch
     wall = time.perf_counter() - start

@@ -1,0 +1,69 @@
+"""Tracing spans: no-op gating, nesting depth, sampling, ring buffer."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import _NOOP, trace
+
+
+def test_disabled_registry_returns_shared_noop_singleton():
+    reg = MetricsRegistry(enabled=False)
+    spans = [trace("op", registry=reg) for _ in range(5)]
+    assert all(s is _NOOP for s in spans)  # zero per-call allocation
+    with spans[0]:
+        pass
+    assert reg.spans() == []
+
+
+def test_span_records_name_tags_and_duration():
+    reg = MetricsRegistry(enabled=True)
+    with trace("merge_shard", registry=reg, shard=3):
+        pass
+    (record,) = reg.spans()
+    assert record.name == "merge_shard"
+    assert record.tags == {"shard": 3}
+    assert record.duration_s >= 0.0
+    assert record.depth == 1
+    # The span also fed the mergeable duration histogram.
+    assert reg.histograms()["span_seconds{span=merge_shard}"].count == 1
+
+
+def test_nested_spans_track_depth():
+    reg = MetricsRegistry(enabled=True)
+    with trace("outer", registry=reg):
+        with trace("inner", registry=reg):
+            pass
+    inner, outer = reg.spans()  # inner exits (and records) first
+    assert inner.name == "inner" and inner.depth == 2
+    assert outer.name == "outer" and outer.depth == 1
+
+
+def test_every_n_sampler_is_deterministic():
+    reg = MetricsRegistry(enabled=True, trace_sample_every=3)
+    for _ in range(9):
+        with trace("op", registry=reg):
+            pass
+    assert len(reg.spans()) == 3
+
+
+def test_ring_buffer_is_bounded():
+    reg = MetricsRegistry(enabled=True, trace_capacity=4)
+    for i in range(10):
+        with trace("op", registry=reg, i=i):
+            pass
+    spans = reg.spans()
+    assert len(spans) == 4
+    assert [s.tags["i"] for s in spans] == [6, 7, 8, 9]  # oldest evicted
+
+
+def test_exception_inside_span_still_records_and_propagates():
+    reg = MetricsRegistry(enabled=True)
+    try:
+        with trace("boom", registry=reg):
+            raise ValueError("x")
+    except ValueError:
+        pass
+    else:  # pragma: no cover - the raise must propagate
+        raise AssertionError("exception was swallowed")
+    (record,) = reg.spans()
+    assert record.name == "boom"

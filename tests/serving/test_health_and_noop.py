@@ -1,0 +1,286 @@
+"""Service observability: health report, histogram latency percentiles,
+the no-op fast path, and the serve/metrics CLI round trip."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.obs.health import HealthReport, ShardHealth
+from repro.obs.metrics import HIST_SUBBUCKETS, MetricsRegistry, scoped_registry
+from repro.obs.tracing import _NOOP, trace
+from repro.serving import IndexService
+
+BUCKET_WIDTH = 2.0 ** (1.0 / HIST_SUBBUCKETS)
+
+
+@pytest.fixture()
+def dataset(rng):
+    keys = np.unique(rng.integers(0, 10**8, 12_000).astype(np.int64))
+    return keys, keys * 3
+
+
+def _fresh_keys(keys: np.ndarray, n: int, rng) -> np.ndarray:
+    return int(keys[-1]) + 1 + rng.permutation(np.arange(n, dtype=np.int64) * 7)
+
+
+# ----------------------------------------------------------------------
+# health_report
+# ----------------------------------------------------------------------
+def test_health_report_fields_and_statuses(dataset, rng):
+    keys, values = dataset
+    with IndexService.build(keys, family="lipp", n_shards=4, values=values) as svc:
+        queries = rng.choice(keys, 3000)
+        svc.lookup_many(queries)
+        report = svc.health_report()
+        assert isinstance(report, HealthReport)
+        assert len(report.shards) == 4
+        total_queries = 0
+        for shard_no, row in enumerate(report.shards):
+            assert isinstance(row, ShardHealth)
+            assert row.shard == shard_no
+            assert row.n_keys > 0
+            assert row.buffered == 0 and row.staleness == 0.0
+            assert row.p50_ns <= row.p90_ns <= row.p99_ns
+            assert row.expected_ns > 0
+            assert row.status == "ok"
+            total_queries += row.queries
+        assert total_queries == queries.size
+        assert report.status == "ok"
+        assert report.merge_queue_depth == 0
+        assert report.cost_imbalance >= 1.0
+        assert report.warnings() == []
+        table = report.to_table()
+        for needle in ("staleness", "drift", "status=ok", "cost_imbalance"):
+            assert needle in table
+
+
+def test_health_report_flags_stale_shards(dataset, rng):
+    keys, values = dataset
+    # A threshold no workload crosses: writes pile up unmerged.
+    with IndexService.build(
+        keys, family="lipp", n_shards=4, values=values, staleness_threshold=100.0
+    ) as svc:
+        svc.insert_many(_fresh_keys(keys, 4000, rng))
+        report = svc.health_report()
+        stale = [r for r in report.shards if r.buffered > 0]
+        assert stale
+        assert all(r.staleness > 0 for r in stale)
+        # staleness_threshold=100 means staleness ~0.3 is still "ok";
+        # health mirrors the merge trigger, not an absolute scale.
+        assert report.status == "ok"
+
+
+def test_health_report_warns_past_merge_threshold(dataset, rng):
+    keys, values = dataset
+    svc = IndexService.build(keys, family="lipp", n_shards=2, values=values)
+    try:
+        # Bypass insert_many's merge trigger: stuff a buffer directly,
+        # as a merge backlog would.
+        fresh = _fresh_keys(keys, 2000, rng)
+        svc._buffers[0].put_run(np.sort(fresh), np.sort(fresh))
+        report = svc.health_report()
+        assert report.shards[0].staleness > svc.staleness_threshold
+        assert report.shards[0].status == "warn"
+        assert report.status == "warn"
+        assert any("shard 0" in w for w in report.warnings())
+    finally:
+        svc._buffers[0].entries.clear()
+        svc.close()
+
+
+def test_expected_cost_refreshes_on_rebuild_merge(dataset, rng):
+    keys, values = dataset
+    # pgm is a static family: merges always rebuild, refreshing the
+    # drift baseline from the merged key set.
+    with IndexService.build(
+        keys, family="pgm", n_shards=2, values=values, staleness_threshold=0.01
+    ) as svc:
+        before = list(svc._expected_ns)
+        svc.insert_many(_fresh_keys(keys, 3000, rng))
+        assert svc.stats.merges > 0
+        after = list(svc._expected_ns)
+        assert before != after
+        assert all(v > 0 for v in after)
+
+
+# ----------------------------------------------------------------------
+# Histogram latency percentiles vs exact samples (the regression test
+# for replacing the decimated sample list)
+# ----------------------------------------------------------------------
+def test_latency_report_matches_exact_percentiles(dataset, rng):
+    keys, values = dataset
+    with IndexService.build(keys, family="lipp", n_shards=4, values=values) as svc:
+        exact_ns = []
+        for _ in range(5):
+            queries = rng.choice(keys, 2000)
+            batch = svc.lookup_many(queries)
+            exact_ns.append(batch.simulated_ns(svc.constants))
+        exact = np.concatenate(exact_ns)
+        report = svc.latency_report()
+        assert report.total.n_queries == exact.size
+        assert report.total.avg_ns == pytest.approx(float(exact.mean()))  # exact
+        for q, got in ((50, report.total.p50_ns), (90, report.total.p90_ns),
+                       (99, report.total.p99_ns)):
+            want = float(np.percentile(exact, q))
+            assert want / BUCKET_WIDTH <= got <= want * BUCKET_WIDTH
+
+
+def test_latency_total_is_merge_of_shards(dataset, rng):
+    keys, values = dataset
+    with IndexService.build(keys, family="lipp", n_shards=4, values=values) as svc:
+        svc.lookup_many(rng.choice(keys, 4000))
+        report = svc.latency_report()
+        assert report.total.n_queries == sum(r.n_queries for r in report.shards)
+        assert report.total.p99_ns >= max(r.p50_ns for r in report.shards)
+
+
+# ----------------------------------------------------------------------
+# No-op fast path
+# ----------------------------------------------------------------------
+def test_results_bit_identical_metrics_on_vs_off(dataset, rng):
+    keys, values = dataset
+    queries = rng.choice(keys, 3000)
+    fresh = _fresh_keys(keys, 500, rng)
+
+    def run(registry):
+        with scoped_registry(registry):
+            with IndexService.build(
+                keys, family="lipp", n_shards=4, values=values
+            ) as svc:
+                batch = svc.lookup_many(queries)
+                svc.insert_many(fresh)
+                svc.flush()
+                after = svc.lookup_many(np.concatenate([queries[:500], fresh]))
+                return batch, after, svc.stats
+
+    off_b, off_a, off_stats = run(MetricsRegistry(enabled=False))
+    on_b, on_a, on_stats = run(MetricsRegistry(enabled=True))
+    for off, on in ((off_b, on_b), (off_a, on_a)):
+        assert np.array_equal(off.found, on.found)
+        assert np.array_equal(off.values, on.values)
+        assert np.array_equal(off.levels, on.levels)
+        assert np.array_equal(off.search_steps, on.search_steps)
+    assert off_stats == on_stats  # ServiceStats is registry-independent
+
+
+def test_disabled_registry_records_nothing(dataset, rng):
+    keys, values = dataset
+    registry = MetricsRegistry(enabled=False)
+    with scoped_registry(registry):
+        with IndexService.build(keys, family="lipp", n_shards=4, values=values) as svc:
+            svc.lookup_many(rng.choice(keys, 2000))
+            svc.insert_many(_fresh_keys(keys, 2000, rng))
+            svc.flush()
+    # Instruments exist (the service pre-creates its handles) but none
+    # ever recorded: every counter is zero, no span was kept.
+    assert all(v == 0 for v in registry.counters().values())
+    assert all(v == 0.0 for v in registry.gauges().values())
+    assert registry.spans() == []
+    # The histogram instruments hold only the always-on latency view.
+    for key, hist in registry.histograms().items():
+        if not key.startswith("service_lookup_ns"):
+            assert hist.count == 0, key
+
+
+def test_disabled_trace_allocates_nothing(dataset):
+    registry = MetricsRegistry(enabled=False)
+    # The no-op guard contract: a disabled trace is one shared
+    # singleton, not a per-call object.
+    assert trace("anything", registry=registry) is _NOOP
+    assert trace("anything", registry=registry) is trace("x", registry=registry)
+
+
+def test_enabled_registry_mirrors_service_stats(dataset, rng):
+    keys, values = dataset
+    registry = MetricsRegistry(enabled=True)
+    with scoped_registry(registry):
+        with IndexService.build(keys, family="lipp", n_shards=4, values=values) as svc:
+            svc.lookup_many(rng.choice(keys, 2000))
+            svc.insert_many(_fresh_keys(keys, 2000, rng))
+            svc.flush()
+            counters = registry.counters()
+            stats = svc.stats
+    assert counters["service_lookups_total"] == stats.n_lookups
+    assert counters["service_inserts_total"] == stats.n_inserts
+    assert counters["service_merges_total"] == stats.merges
+    assert counters["service_merged_keys_total"] == stats.merged_keys
+    assert counters["router_routed_keys_total"] > 0
+    assert any(
+        s.name == "merge_shard" for s in registry.spans()
+    ), "merge should have traced a span"
+
+
+# ----------------------------------------------------------------------
+# CLI round trip
+# ----------------------------------------------------------------------
+def test_serve_metrics_out_and_validate(tmp_path, capsys):
+    out = tmp_path / "metrics.jsonl"
+    rc = main([
+        "serve", "--index", "lipp", "--shards", "2", "--n", "3000",
+        "--ops", "2000", "--batch", "500",
+        "--metrics-out", str(out), "--metrics-every", "1",
+    ])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "shard health" in stdout
+    assert f"metrics written to {out}" in stdout
+    lines = out.read_text().splitlines()
+    assert len(lines) >= 3  # build + per-batch + final
+    for line in lines:
+        snap = json.loads(line)
+        assert snap["v"] == 1
+    assert json.loads(lines[-1])["counters"]["service_lookups_total"] > 0
+
+    assert main(["metrics", "--in", str(out), "--validate"]) == 0
+    assert "schema valid" in capsys.readouterr().out
+
+    assert main(["metrics", "--in", str(out)]) == 0
+    table = capsys.readouterr().out
+    assert "service_lookups_total" in table and "p99" in table
+
+    assert main(["metrics", "--in", str(out), "--format", "prom"]) == 0
+    assert "# TYPE service_lookups_total counter" in capsys.readouterr().out
+
+
+def test_metrics_validate_fails_on_tampered_file(tmp_path, capsys):
+    out = tmp_path / "metrics.jsonl"
+    rc = main([
+        "serve", "--index", "lipp", "--shards", "2", "--n", "3000",
+        "--ops", "1000", "--batch", "500", "--metrics-out", str(out),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    with open(out, "a", encoding="utf-8") as fh:
+        fh.write("{not json\n")
+    assert main(["metrics", "--in", str(out), "--validate"]) == 1
+    assert "not valid JSON" in capsys.readouterr().out
+    assert main(["metrics", "--in", str(tmp_path / "absent.jsonl"), "--validate"]) == 1
+
+
+def test_serve_without_metrics_flag_stays_uninstrumented(capsys):
+    rc = main([
+        "serve", "--index", "lipp", "--shards", "2", "--n", "3000",
+        "--ops", "1000", "--batch", "500",
+    ])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "shard health" in stdout  # epilogue still prints
+    assert "metrics written" not in stdout
+
+
+def test_log_format_json_wraps_every_line(capsys):
+    rc = main([
+        "--log-format", "json", "serve", "--index", "lipp", "--shards", "2",
+        "--n", "3000", "--ops", "1000", "--batch", "500",
+    ])
+    assert rc == 0
+    lines = [ln for ln in capsys.readouterr().out.splitlines() if ln.strip()]
+    assert lines
+    for line in lines:
+        record = json.loads(line)
+        assert record["logger"].startswith("repro")
+        assert "msg" in record
