@@ -8,6 +8,15 @@ model assigns — and merges the results into ``BENCH_perf.json`` under
 the ``"serving"`` key (the smoothing/lookup/insert sections written by
 ``bench_perf_regression.py`` are preserved).
 
+A second sweep, ``process_scaling``, runs the shared-memory process
+executor over K shards/workers and records
+``k4_over_k1_ratio`` — the K=4 over K=1 process-mode throughput
+ratio, the dimensionless signal that process serving actually scales
+past the GIL.  On a single-core runner the ratio hovers near or
+below 1 (IPC overhead, no parallelism to win back); CI only floors
+it on runners with 4+ cores.  Every process batch is asserted
+bit-identical to the serial answer.
+
 Run directly::
 
     python benchmarks/bench_serving.py            # full (n=20k)
@@ -18,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -27,13 +37,18 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.serving import IndexService  # noqa: E402
+from repro.serving import ExecutorSpec, IndexService  # noqa: E402
 from repro.workloads import run_service_workload  # noqa: E402
 
 #: Families benched: the CSV flagship (lipp), the classical oracle
 #: (btree) and the fastest static batch backend (pgm).
 FAMILIES = ("lipp", "btree", "pgm")
 SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Families and shard counts of the process-executor scaling sweep
+#: (smaller: each K spawns K worker processes).
+PROCESS_FAMILIES = ("lipp", "btree")
+PROCESS_SHARD_COUNTS = (1, 2, 4)
 
 
 def bench_family(
@@ -81,6 +96,47 @@ def bench_family(
     return out
 
 
+def bench_process_family(
+    family: str, keys: np.ndarray, queries: np.ndarray, repeats: int
+) -> dict:
+    """Process-executor throughput over a shard sweep, parity-checked.
+
+    Serves each K with K worker processes over shared-memory shard
+    views; the best of *repeats* timed passes per K smooths out
+    worker warm-up.  Returns per-K rows plus the K=4/K=1 ratio.
+    """
+    out: dict = {}
+    reference = None
+    per_k: dict[int, float] = {}
+    for k in PROCESS_SHARD_COUNTS:
+        spec = ExecutorSpec(kind="process", n_workers=k)
+        with IndexService.build(keys, family=family, n_shards=k,
+                                executor=spec) as service:
+            service.lookup_many(queries[:256])  # warm the IPC path
+            best = 0.0
+            for __ in range(repeats):
+                start = time.perf_counter()
+                batch = service.lookup_many(queries)
+                wall = time.perf_counter() - start
+                best = max(best, queries.size / wall if wall > 0 else 0.0)
+            if reference is None:
+                with IndexService.build(keys, family=family, n_shards=k) as ser:
+                    reference = ser.lookup_many(queries)
+            if not (
+                np.array_equal(batch.found, reference.found)
+                and np.array_equal(batch.values, reference.values)
+            ):
+                raise AssertionError(f"{family} K={k}: process batch diverged")
+            per_k[k] = best
+            out[f"K{k}"] = {
+                "n_shards": k,
+                "process_lookups_per_s": round(best, 1),
+            }
+    if 1 in per_k and 4 in per_k and per_k[1] > 0:
+        out["k4_over_k1_ratio"] = round(per_k[4] / per_k[1], 3)
+    return out
+
+
 def run(quick: bool, out_path: Path, seed: int = 0) -> dict:
     n = 4_000 if quick else 20_000
     n_queries = 8_000 if quick else 40_000
@@ -90,6 +146,7 @@ def run(quick: bool, out_path: Path, seed: int = 0) -> dict:
     keys = np.unique(rng.integers(0, n * 10_000, n))
     queries = rng.choice(keys, n_queries)
 
+    process_repeats = 2 if quick else 3
     serving = {
         "config": {
             "quick": quick,
@@ -98,11 +155,17 @@ def run(quick: bool, out_path: Path, seed: int = 0) -> dict:
             "n_ops": n_ops,
             "max_workers": max_workers,
             "shard_counts": list(SHARD_COUNTS),
+            "process_shard_counts": list(PROCESS_SHARD_COUNTS),
+            "cpu_count": os.cpu_count(),
             "seed": seed,
         },
         "scaling": {
             family: bench_family(family, keys, queries, n_ops, max_workers, seed)
             for family in FAMILIES
+        },
+        "process_scaling": {
+            family: bench_process_family(family, keys, queries, process_repeats)
+            for family in PROCESS_FAMILIES
         },
     }
 
@@ -132,6 +195,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"mixed {row['mixed_ops_per_s']:>10,.0f} ops/s  "
                 f"avg {row['avg_sim_ns']:>6.0f} sim-ns"
             )
+    for family, sweep in serving["process_scaling"].items():
+        for label, row in sweep.items():
+            if not label.startswith("K"):
+                continue
+            print(
+                f"{family:8s} {label:3s} process "
+                f"{row['process_lookups_per_s']:>12,.0f}/s"
+            )
+        ratio = sweep.get("k4_over_k1_ratio")
+        if ratio is not None:
+            print(f"{family:8s} K4/K1 process scaling ratio {ratio:.2f}")
     print(f"wrote serving section to {args.out}")
     return 0
 

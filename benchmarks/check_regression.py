@@ -195,10 +195,39 @@ def main(argv: list[str] | None = None) -> int:
              "missing metric or one below the floor fails the gate "
              "(repeatable)",
     )
+    parser.add_argument(
+        "--floors-only", action="store_true",
+        help="skip the baseline comparison entirely and check only the "
+             "--floor minimums against the fresh report — for absolute "
+             "same-machine gates (e.g. process-executor scaling ratios) "
+             "where no committed baseline is comparable",
+    )
     args = parser.parse_args(argv)
 
-    baseline = json.loads(args.baseline.read_text())
     fresh = json.loads(args.fresh.read_text())
+    if args.floors_only:
+        if not args.floor:
+            print("error: --floors-only requires at least one --floor")
+            return 2
+        failures = 0
+        print(f"perf gate [floors-only]: {len(args.floor)} floor(s)")
+        for path, floor, fresh_v, ok in check_floors(
+            collect_metrics(fresh), args.floor
+        ):
+            if not ok:
+                failures += 1
+            shown = "missing" if fresh_v is None else f"{fresh_v:,.2f}"
+            print(
+                f"  [{'ok' if ok else 'FAIL':4s}] floor {path:49s} "
+                f">= {floor:,.2f}  ({shown})"
+            )
+        if failures:
+            print(f"\n{failures} floor(s) violated.")
+            return 1
+        print("\nperf gate passed")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
     mode, allowed, rows, skipped = compare(
         baseline, fresh, args.max_drop, args.cross_config_grace,
         args.min_ratio_speedup,

@@ -25,6 +25,7 @@ Examples::
     python -m repro build --index lipp --dataset osm --n 10000
     python -m repro csv --index alex --dataset facebook --alpha 0.1
     python -m repro serve --index lipp --shards 8 --dataset osm --ops 50000
+    python -m repro serve --index lipp --shards 4 --executor process --replicas 2
     python -m repro serve --index btree --shards 4 --compare
     python -m repro serve --metrics-out metrics.jsonl --ops 20000
     python -m repro metrics --in metrics.jsonl --validate
@@ -113,7 +114,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--zipf", action="store_true", help="Zipf-skewed reads instead of uniform"
     )
-    p_serve.add_argument("--threads", type=int, default=0, help="shard worker threads")
+    p_serve.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default=None,
+        help="shard execution backend; 'process' serves zero-copy shard "
+             "views out of shared memory on worker processes",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=0,
+        help="worker count for --executor thread/process "
+             "(default: sized to the shard count)",
+    )
+    p_serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="process executor: replicas per shard (read fan-out + failover)",
+    )
+    p_serve.add_argument(
+        "--timeout-s", type=float, default=30.0,
+        help="process executor: per-batch IPC timeout in seconds",
+    )
+    p_serve.add_argument(
+        "--threads", type=int, default=0,
+        help="[deprecated] shard worker threads; use --executor thread --workers N",
+    )
     p_serve.add_argument("--cache-blocks", type=int, default=0, help="LRU cache size")
     p_serve.add_argument("--staleness", type=float, default=0.1,
                          help="write-buffer merge threshold (buffered/stored)")
@@ -251,12 +273,36 @@ def _parse_alpha(raw: str | None) -> float | str | None:
     return float(raw)
 
 
+def _executor_spec(args: argparse.Namespace):
+    """Build the ExecutorSpec requested on the serve command line.
+
+    Returns None when only the deprecated ``--threads`` knob (or
+    nothing) was given — the legacy ``max_workers`` shim then decides.
+    """
+    from .serving import ExecutorSpec
+
+    if args.executor is None:
+        return None
+    return ExecutorSpec(
+        kind=args.executor,
+        n_workers=args.workers or None,
+        n_replicas=args.replicas,
+        timeout_s=args.timeout_s,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .evaluation.runner import run_sharded_experiment
     from .obs.export import write_jsonl
     from .obs.metrics import MetricsRegistry, scoped_registry
     from .serving import IndexService
     from .workloads import run_service_workload
+
+    if args.executor and args.threads:
+        _say("--threads is superseded by --executor; "
+             "use --executor thread --workers N")
+        return 2
+    executor = _executor_spec(args)
 
     if args.compare:
         rows = run_sharded_experiment(
@@ -268,6 +314,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             alpha=_parse_alpha(args.alpha),
             n_queries=max(args.ops, 1),
             seed=args.seed,
+            executor=executor,
             max_workers=args.threads or None,
         )
         _say(
@@ -302,15 +349,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_shards=args.shards,
         mode=args.mode,
         alpha=_parse_alpha(args.alpha),
+        executor=executor,
         max_workers=args.threads or None,
         cache_blocks=args.cache_blocks,
         staleness_threshold=args.staleness,
     ) as service:
         snap()
         plan = service.plan
+        spec = service.router.executor_spec
+        exec_desc = spec.kind
+        if spec.kind != "serial":
+            exec_desc += f" x{spec.resolved_workers(plan.n_shards)}"
+        if spec.kind == "process" and spec.n_replicas > 1:
+            exec_desc += f" (replicas={spec.n_replicas})"
         _say(
             f"{args.index} x {plan.n_shards} shards ({plan.mode}) over "
-            f"{keys.size} {args.dataset} keys; threads={args.threads or 'off'}, "
+            f"{keys.size} {args.dataset} keys; executor={exec_desc}, "
             f"cache={args.cache_blocks} blocks"
         )
         _say(
@@ -343,6 +397,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{report.n_batches} batches, {report.wall_seconds:.2f}s wall "
             f"({report.ops_per_second:,.0f} ops/s), read hit rate "
             f"{report.read_hit_rate:.3f}"
+            + (
+                f", {report.worker_restarts} worker restart(s)"
+                if report.worker_restarts
+                else ""
+            )
         )
         stats = service.stats
         _say(

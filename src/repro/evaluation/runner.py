@@ -323,18 +323,26 @@ def run_sharded_experiment(
     seed: int = 0,
     constants: CostConstants | None = None,
     max_workers: int | None = None,
+    executor=None,
 ) -> list[ShardedExperimentRow]:
     """Sharded-vs-monolithic comparison over a shard-count sweep.
 
     Builds the bare index once as the baseline row, then one
     :class:`~repro.serving.service.IndexService` per shard count (and,
-    when *max_workers* is set, a threaded variant of each), all over
+    when an *executor* spec — or the deprecated *max_workers* — asks
+    for a parallel backend, a parallel variant of each), all over
     the same keys and the same uniform query sample — the batch found
     / value vectors are asserted identical to the monolithic answer,
     so the table compares cost, never correctness.
+
+    *executor* takes an :class:`~repro.serving.executor.ExecutorSpec`
+    (or a string like ``"process"`` / ``"thread:4"``); rows of the
+    parallel variant are labelled with the executor kind.
     """
-    from ..serving import IndexService
+    from ..serving import ExecutorSpec, IndexService
     from ..serving.service import UPDATABLE_FAMILIES
+
+    spec = ExecutorSpec.parse(executor) if executor is not None else None
 
     consts = constants or CostConstants()
     keys = load(dataset, n)
@@ -359,8 +367,10 @@ def run_sharded_experiment(
     )
     rows = [baseline]
 
+    has_parallel = bool(max_workers) or (spec is not None and spec.kind != "serial")
+    suffix = f" +{spec.kind}" if spec is not None else " +threads"
     for k in shard_counts:
-        for threads in ((False, True) if max_workers else (False,)):
+        for parallel in ((False, True) if has_parallel else (False,)):
             start = time.perf_counter()
             service = IndexService.build(
                 keys,
@@ -369,10 +379,14 @@ def run_sharded_experiment(
                 mode=mode,
                 alpha=alpha,
                 constants=consts,
-                max_workers=max_workers if threads else None,
+                executor=spec if parallel and spec is not None else None,
+                max_workers=(
+                    max_workers if parallel and spec is None else None
+                ),
             )
             build_seconds = time.perf_counter() - start
-            label = f"{mode} K={k}" + (" +threads" if threads else "")
+            threads = parallel
+            label = f"{mode} K={k}" + (suffix if parallel else "")
             __, row = _sharded_row(
                 family, dataset, label, k, threads, build_seconds,
                 service.lookup_many, queries, fresh, consts,

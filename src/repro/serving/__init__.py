@@ -13,16 +13,34 @@ IndexService` fronts the shards with a read-through LRU block cache,
 per-shard write buffers with staleness-triggered merge + re-smoothing,
 and per-shard latency percentile reporting.
 
+Execution backends: the router runs shards serially, on a thread
+pool, or on *worker processes* that serve zero-copy views of the
+shard buffers out of shared memory — pick one with an
+:class:`~repro.serving.executor.ExecutorSpec` (``"serial"``,
+``"thread"``, ``"process"``; plus ``n_replicas`` / ``timeout_s`` for
+process mode).  The legacy ``max_workers=`` / ``threaded=`` knobs
+still work behind a deprecation shim.
+
 Observability: the service keeps always-on per-shard latency
 histograms (mergeable fixed-layout log buckets, see :mod:`repro.obs`)
 behind :meth:`~repro.serving.service.IndexService.latency_report` and
-:meth:`~repro.serving.service.IndexService.health_report`; everything
-else — counters, gauges, spans — only records when an enabled
+:meth:`~repro.serving.service.IndexService.health_report`; process
+executors additionally report per-replica liveness and restarts
+(:class:`~repro.obs.health.ReplicaHealth`).  Everything else —
+counters, gauges, spans — only records when an enabled
 :class:`~repro.obs.metrics.MetricsRegistry` is installed.
+
+The names re-exported here are the stable public surface of the
+serving layer: routing types (:class:`RoutedBatch`), report types
+(:class:`LatencyReport`, :class:`ShardLatency`, :class:`HealthReport`,
+:class:`ShardHealth`, :class:`ReplicaHealth`), and the executor API
+(:class:`ExecutorSpec`, :class:`ExecutorError`).  Callers should use
+these rather than reaching into router internals.
 """
 
-from ..obs.health import HealthReport, ShardHealth
+from ..obs.health import HealthReport, ReplicaHealth, ShardHealth
 
+from .executor import ExecutorError, ExecutorSpec
 from .partitioner import (
     SMOOTHABLE_FAMILIES,
     ShardPlan,
@@ -32,14 +50,18 @@ from .partitioner import (
     predicted_shard_cost,
 )
 from .router import RoutedBatch, ShardRouter
-from .service import IndexService, LatencyReport, ServiceStats
+from .service import IndexService, LatencyReport, ServiceStats, ShardLatency
 
 __all__ = [
+    "ExecutorError",
+    "ExecutorSpec",
     "HealthReport",
     "IndexService",
     "LatencyReport",
+    "ReplicaHealth",
     "RoutedBatch",
     "ShardHealth",
+    "ShardLatency",
     "SMOOTHABLE_FAMILIES",
     "ServiceStats",
     "ShardPlan",

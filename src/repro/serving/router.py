@@ -3,12 +3,21 @@
 One ``np.searchsorted`` against the boundary array assigns every query
 of a batch to its shard; a stable argsort groups the batch into
 per-shard contiguous runs; each run goes down its shard's
-``lookup_many`` / ``insert_many`` (serially, or on a shared
-``ThreadPoolExecutor``); and the per-shard
+``lookup_many`` / ``insert_many``; and the per-shard
 :class:`~repro.indexes.base.BatchQueryStats` are gathered back into
-the caller's positional order.  The gather is *exact*: entry ``i`` of
-the gathered batch is bit-identical to routing ``keys[i]`` alone and
-looking it up in its shard, threads or not.
+the caller's positional order.  *How* the per-shard runs execute is
+the :class:`~repro.serving.executor.ExecutorSpec`: inline
+(``"serial"``), on a shared ``ThreadPoolExecutor`` (``"thread"``), or
+on replicated shared-memory worker processes (``"process"`` — see
+:mod:`~repro.serving.executor`).  The gather is *exact* for every
+executor: entry ``i`` of the gathered batch is bit-identical to
+routing ``keys[i]`` alone and looking it up in its shard.
+
+In process mode the router keeps its in-process shard objects as the
+*authoritative* copies: writes (``insert_many``, ``replace_shard``)
+apply there and the shard is republished to the worker replicas;
+reads fan out to the replicas; ``range_query`` and ``iter_keys`` scan
+the authoritative copies directly.
 """
 
 from __future__ import annotations
@@ -27,7 +36,9 @@ from ..indexes.base import (
     _as_query_array,
     dedupe_last_wins,
 )
+from ..obs.health import ReplicaHealth
 from ..obs.metrics import get_registry
+from .executor import ExecutorSpec, ProcessShardExecutor, resolve_executor
 
 __all__ = ["RoutedBatch", "ShardRouter", "dedupe_last_wins"]
 
@@ -66,6 +77,8 @@ class ShardRouter:
         boundaries: np.ndarray,
         max_workers: int | None = None,
         build_factory: Callable[[np.ndarray, np.ndarray], LearnedIndex] | None = None,
+        executor: ExecutorSpec | str | None = None,
+        threaded: bool | None = None,
     ):
         boundaries = np.asarray(boundaries, dtype=np.int64)
         if boundaries.size != len(shards) - 1:
@@ -78,12 +91,30 @@ class ShardRouter:
         self._shards = list(shards)
         self._boundaries = boundaries
         self._build_factory = build_factory
+        #: ``executor=`` is the API; ``max_workers=`` / ``threaded=``
+        #: are the deprecated PR-2 knobs, mapped (with a one-time
+        #: warning) onto a thread spec by :func:`resolve_executor`.
+        self._spec = resolve_executor(
+            executor, max_workers=max_workers, threaded=threaded
+        )
         self._executor: ThreadPoolExecutor | None = None
-        if max_workers is not None and max_workers > 1:
+        self._proc: ProcessShardExecutor | None = None
+        if self._spec.kind == "thread":
             self._executor = ThreadPoolExecutor(
-                max_workers=min(int(max_workers), max(len(shards), 1)),
+                max_workers=min(
+                    self._spec.resolved_workers(len(shards)), max(len(shards), 1)
+                ),
                 thread_name_prefix="shard",
             )
+        elif self._spec.kind == "process":
+            self._proc = ProcessShardExecutor(self._spec, len(shards))
+            try:
+                for shard_no, shard in enumerate(self._shards):
+                    if shard is not None:
+                        self._proc.publish(shard_no, shard)
+            except BaseException:
+                self._proc.close()
+                raise
 
     # ------------------------------------------------------------------
     # Introspection
@@ -101,8 +132,29 @@ class ShardRouter:
         return self._boundaries.copy()
 
     @property
+    def executor_spec(self) -> ExecutorSpec:
+        """The resolved executor configuration serving this router."""
+        return self._spec
+
+    @property
     def threaded(self) -> bool:
         return self._executor is not None
+
+    @property
+    def process_based(self) -> bool:
+        return self._proc is not None
+
+    def executor_report(self) -> tuple[ReplicaHealth, ...]:
+        """Per-replica health rows (empty for serial/thread executors)."""
+        return self._proc.health() if self._proc is not None else ()
+
+    def worker_restarts(self) -> int:
+        """Worker processes respawned after a crash or timeout."""
+        return self._proc.restarts_total() if self._proc is not None else 0
+
+    def shm_segment_names(self) -> tuple[str, ...]:
+        """Live shared-memory segment names (lifecycle tests)."""
+        return self._proc.segment_names() if self._proc is not None else ()
 
     @property
     def n_keys(self) -> int:
@@ -174,8 +226,25 @@ class ShardRouter:
                 )
                 continue
             tasks.append((shard_no, (lambda s=shard, p=positions: s.lookup_many(q[p]))))
-        for shard_no, batch in self._map_shards(tasks).items():
-            per_shard[shard_no] = batch
+        if self._proc is not None and tasks:
+            # Process fan-out: ship each shard's key slice to a replica
+            # worker; the response is the shard's BatchQueryStats as
+            # bare arrays (the keys we already hold).
+            slices = {
+                shard_no: q[order[int(offsets[shard_no]) : int(offsets[shard_no + 1])]]
+                for shard_no, __ in tasks
+            }
+            for shard_no, arrays in self._proc.lookup(list(slices.items())).items():
+                per_shard[shard_no] = BatchQueryStats(
+                    keys=slices[shard_no],
+                    found=arrays[0],
+                    values=arrays[1],
+                    levels=arrays[2],
+                    search_steps=arrays[3],
+                )
+        else:
+            for shard_no, batch in self._map_shards(tasks).items():
+                per_shard[shard_no] = batch
 
         for shard_no, batch in enumerate(per_shard):
             if batch is None:
@@ -220,12 +289,14 @@ class ShardRouter:
         __, order, offsets = self.group_by_shard(arr)
         counts = np.zeros(self.n_shards, dtype=np.int64)
         tasks = []
+        touched: list[int] = []
         for shard_no in range(self.n_shards):
             lo, hi = int(offsets[shard_no]), int(offsets[shard_no + 1])
             if lo == hi:
                 continue
             positions = order[lo:hi]
             counts[shard_no] = positions.size
+            touched.append(shard_no)
             shard = self._shards[shard_no]
             if shard is None:
                 self._shards[shard_no] = self._materialise(
@@ -238,7 +309,18 @@ class ShardRouter:
                     (lambda s=shard, p=positions: s.insert_many(arr[p], vals[p])),
                 )
             )
-        self._map_shards(tasks)
+        if self._proc is not None:
+            # Writes apply to the authoritative in-process shards, then
+            # each touched shard is republished so the replicas serve
+            # the new state.  (The service's write path buffers instead
+            # and republishes only on merge — this direct path trades
+            # write throughput for simplicity.)
+            for __, task in tasks:
+                task()
+            for shard_no in touched:
+                self._proc.publish(shard_no, self._shards[shard_no])
+        else:
+            self._map_shards(tasks)
         reg = get_registry()
         if reg.enabled:
             reg.counter("router_inserted_keys_total").inc(int(arr.size))
@@ -277,14 +359,29 @@ class ShardRouter:
     # Lifecycle
     # ------------------------------------------------------------------
     def replace_shard(self, shard_no: int, index: LearnedIndex | None) -> None:
-        """Swap one shard's index (the service's merge path)."""
-        self._shards[int(shard_no)] = index
+        """Swap one shard's index (the service's merge path).
+
+        In process mode the new index is republished to the shard's
+        replicas (or the publication withdrawn when *index* is None);
+        a router whose executor is already closed just swaps locally,
+        so a straggling background merge landing during shutdown can
+        not crash against dead workers.
+        """
+        shard_no = int(shard_no)
+        self._shards[shard_no] = index
+        if self._proc is not None and not self._proc.closed:
+            if index is None:
+                self._proc.withdraw(shard_no)
+            else:
+                self._proc.publish(shard_no, index)
 
     def close(self) -> None:
-        """Shut the worker pool down (no-op for a serial router)."""
+        """Shut the worker pool / processes down (no-op when serial)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._proc is not None:
+            self._proc.close()
 
     def __enter__(self) -> "ShardRouter":
         return self

@@ -52,6 +52,7 @@ from ..indexes.base import (
 from ..obs.health import HealthReport, IMBALANCE_WARN, ShardHealth, shard_status
 from ..obs.metrics import Histogram, MetricsRegistry, get_registry
 from ..obs.tracing import trace
+from .executor import ExecutorSpec
 from .partitioner import (
     SMOOTHABLE_FAMILIES,
     ShardPlan,
@@ -335,6 +336,7 @@ class IndexService:
         values: np.ndarray | list | None = None,
         mode: str = "equi_depth",
         alpha: float | Sequence[float] | str | None = None,
+        executor: ExecutorSpec | str | None = None,
         max_workers: int | None = None,
         constants: CostConstants | None = None,
         cache_blocks: int = 0,
@@ -343,7 +345,14 @@ class IndexService:
         background_merge: bool = False,
         metrics: MetricsRegistry | None = None,
     ) -> "IndexService":
-        """Partition → smooth → build → route, in one call."""
+        """Partition → smooth → build → route, in one call.
+
+        *executor* picks the shard execution backend (an
+        :class:`~repro.serving.executor.ExecutorSpec` or one of
+        ``"serial"`` / ``"thread"`` / ``"process"``); the old
+        ``max_workers=`` thread knob still works behind a deprecation
+        warning.
+        """
         consts = constants or CostConstants()
         plan = plan_shards(
             keys, n_shards, values=values, mode=mode, alpha=alpha, constants=consts
@@ -353,6 +362,7 @@ class IndexService:
             shards,
             plan.boundaries,
             max_workers=max_workers,
+            executor=executor,
             build_factory=INDEX_FAMILIES[family].build,
         )
         return cls(
@@ -397,6 +407,14 @@ class IndexService:
     def buffered_counts(self) -> tuple[int, ...]:
         """Unmerged write-buffer entries per shard."""
         return tuple(len(b) for b in self._buffers)
+
+    def executor_report(self):
+        """Per-replica worker health (empty unless process-executed)."""
+        return self.router.executor_report()
+
+    def worker_restarts(self) -> int:
+        """Shard workers respawned after a crash or timeout."""
+        return self.router.worker_restarts()
 
     # ------------------------------------------------------------------
     # Read path
@@ -859,6 +877,9 @@ class IndexService:
         status = "ok"
         if any(s.status != "ok" for s in shards) or imbalance > IMBALANCE_WARN:
             status = "warn"
+        replicas = self.router.executor_report()
+        if any(not r.alive for r in replicas):
+            status = "warn"
         return HealthReport(
             shards=tuple(shards),
             merge_queue_depth=self.merge_queue_depth(),
@@ -871,13 +892,22 @@ class IndexService:
             ),
             cost_imbalance=imbalance,
             status=status,
+            replicas=replicas,
+            worker_restarts=self.router.worker_restarts(),
         )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, timeout: float | None = DEFAULT_CLOSE_TIMEOUT) -> bool:
-        """Finish background merges and shut down the worker threads.
+        """Finish background merges, then tear down executor workers.
+
+        Ordering is load-bearing: scheduled merges are drained and the
+        merge worker joined *before* ``router.close()`` stops the
+        executor — a background merge republishes its shard through
+        the router, so tearing down a process pool first would race a
+        dying worker set (the executor masks it by refusing IPC after
+        close, but the merge's republish would then be lost).
 
         Idempotent: repeated calls are no-ops returning the first
         call's outcome.  The whole close — draining scheduled merges
@@ -894,18 +924,23 @@ class IndexService:
         self._clean_close = False
         deadline = None if timeout is None else time.monotonic() + timeout
         clean = False
+        error: BaseException | None = None
         try:
             clean = self.drain(timeout=timeout)
-        finally:
-            if self._merge_pool is not None:
-                remaining = (
-                    None if deadline is None
-                    else max(0.0, deadline - time.monotonic())
-                )
-                clean = self._merge_pool.shutdown(timeout=remaining) and clean
-                self._merge_pool = None
-            self.router.close()
-            self._clean_close = clean
+        except BaseException as exc:  # keep draining order; re-raise below
+            error = exc
+        if self._merge_pool is not None:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            clean = self._merge_pool.shutdown(timeout=remaining) and clean
+            self._merge_pool = None
+        # Only now — with no merge able to start — stop the executor.
+        self.router.close()
+        self._clean_close = clean
+        if error is not None:
+            raise error
         return clean
 
     def __enter__(self) -> "IndexService":

@@ -1,0 +1,140 @@
+"""Shared-memory publication of index buffers for process serving.
+
+One :class:`ShardSegment` per published shard: the index is split by
+:meth:`~repro.indexes.base.LearnedIndex.export_buffers` into a small
+pickled structure plus its large numpy buffers, the buffers are packed
+into a single ``multiprocessing.shared_memory`` segment, and worker
+processes rebuild the index around zero-copy read-only views of that
+segment (:func:`attach_segment_index`).  Publishing copies each buffer
+once; every attach afterwards just maps the same pages.
+
+Lifecycle: the *publisher* (the router's process executor) owns the
+segment and unlinks it on close or republish; *attachers* (workers)
+only close their mapping.  Worker-side attaches bypass
+``multiprocessing.resource_tracker`` registration entirely (see
+:func:`_attach_untracked`) so a dying worker can never unlink a
+segment other replicas are still serving from — the tests in
+``tests/serving/test_executor.py`` assert nothing leaks either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..indexes.base import LearnedIndex, attach_from_buffers
+
+__all__ = [
+    "BufferTable",
+    "ShardSegment",
+    "attach_segment_index",
+    "publish_index",
+]
+
+#: Byte alignment of each packed buffer inside a segment (cache-line).
+_ALIGN = 64
+
+#: One packed buffer: ``(byte_offset, dtype_str, shape)``.
+BufferTable = list[tuple[int, str, tuple[int, ...]]]
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to segment *name* without registering the attach.
+
+    On POSIX (until 3.13's ``track=`` parameter), ``SharedMemory``
+    registers *every* open — including read-only attaches — with the
+    resource tracker, whose cleanup unlinks anything still registered:
+    correct for an owner, destructive for a reader.  Workers share the
+    publisher's tracker (fork), so an attach-register/unregister pair
+    in a worker would silently drop the *publisher's* registration —
+    losing crash cleanup and tripping tracker KeyErrors at unlink.
+    Suppressing the register at attach keeps exactly one registration
+    alive: the owner's.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class ShardSegment:
+    """Publisher-side handle of one shard's shared-memory publication.
+
+    Attributes:
+        payload: pickled index structure (buffers replaced by refs).
+        table: per-buffer ``(offset, dtype, shape)`` into the segment.
+        shm: the owned segment, or None when every buffer was small
+            enough to stay inside the payload.
+    """
+
+    payload: bytes
+    table: BufferTable
+    shm: shared_memory.SharedMemory | None
+
+    @property
+    def name(self) -> str | None:
+        """OS name of the segment (None when fully inline)."""
+        return self.shm.name if self.shm is not None else None
+
+    def nbytes(self) -> int:
+        """Size of the mapped segment in bytes (0 when inline)."""
+        return self.shm.size if self.shm is not None else 0
+
+    def close(self, unlink: bool = True) -> None:
+        """Close the mapping and (as owner) unlink the segment."""
+        if self.shm is None:
+            return
+        self.shm.close()
+        if unlink:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def publish_index(index: LearnedIndex, name_hint: str = "repro") -> ShardSegment:
+    """Export *index* and pack its buffers into one owned segment."""
+    payload, buffers = index.export_buffers()
+    table: BufferTable = []
+    offset = 0
+    for arr in buffers:
+        table.append((offset, arr.dtype.str, tuple(arr.shape)))
+        offset = _aligned(offset + arr.nbytes)
+    if not buffers:
+        return ShardSegment(payload=payload, table=table, shm=None)
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for arr, (off, __, __) in zip(buffers, table):
+        dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+        dst[...] = arr
+    return ShardSegment(payload=payload, table=table, shm=shm)
+
+
+def attach_segment_index(
+    payload: bytes, name: str | None, table: BufferTable
+) -> tuple[LearnedIndex, shared_memory.SharedMemory | None]:
+    """Worker-side attach: rebuild the index over zero-copy views.
+
+    Returns the index plus the mapping that backs its buffers — the
+    caller must keep the mapping open for the index's lifetime and
+    ``close()`` (never unlink) it afterwards.  Views are read-only:
+    replicas share the physical pages, so a worker mutating them would
+    corrupt every other replica.
+    """
+    if name is None:
+        return attach_from_buffers(payload, []), None
+    shm = _attach_untracked(name)
+    views: list[np.ndarray] = []
+    for off, dtype, shape in table:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+        view.flags.writeable = False
+        views.append(view)
+    return attach_from_buffers(payload, views), shm

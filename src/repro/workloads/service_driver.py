@@ -23,7 +23,12 @@ __all__ = ["ServiceWorkloadReport", "run_service_workload"]
 
 @dataclass(frozen=True)
 class ServiceWorkloadReport:
-    """Outcome of one driven workload against an IndexService."""
+    """Outcome of one driven workload against an IndexService.
+
+    ``worker_restarts`` counts executor worker respawns over the run
+    (always 0 for serial/thread executors) — a nonzero value means the
+    process backend rode through crashes or timeouts mid-workload.
+    """
 
     n_reads: int
     n_writes: int
@@ -31,6 +36,7 @@ class ServiceWorkloadReport:
     read_hit_rate: float
     wall_seconds: float
     avg_simulated_ns: float
+    worker_restarts: int = 0
 
     @property
     def n_ops(self) -> int:
@@ -103,6 +109,7 @@ def run_service_workload(
         n_batches += 1
         remaining -= batch
     wall = time.perf_counter() - start
+    restarts = getattr(service, "worker_restarts", lambda: 0)()
     return ServiceWorkloadReport(
         n_reads=n_reads,
         n_writes=n_writes,
@@ -110,4 +117,5 @@ def run_service_workload(
         read_hit_rate=hits / n_reads if n_reads else 0.0,
         wall_seconds=wall,
         avg_simulated_ns=total_ns / n_reads if n_reads else 0.0,
+        worker_restarts=int(restarts),
     )

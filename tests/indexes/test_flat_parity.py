@@ -149,7 +149,11 @@ class TestBulkParity:
         oracle.bulk_insert_many(bkeys, bvals)
         _assert_content_parity(flat, oracle)
         stats = flat.lookup_many(keys)
-        assert bool(np.all(stats.values == 1))
+        # Last wins: an existing key k ends at 1 (second keys section),
+        # unless k-1 is also stored — then k == (k-1) + 1 reappears in
+        # the successor section, which comes last, and ends at 2.
+        expected = np.where(np.isin(keys - 1, keys), 2, 1)
+        assert np.array_equal(stats.values, expected)
 
 
 @pytest.mark.parametrize("cls", INDEX_CLASSES)

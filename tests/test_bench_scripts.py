@@ -197,3 +197,10 @@ def test_bench_serving_quick_smoke(tmp_path):
             assert row["lookups_per_s"] > 0
             assert row["threaded_lookups_per_s"] > 0
             assert row["mixed_ops_per_s"] > 0
+    assert serving["config"]["cpu_count"] >= 1
+    for family in ("lipp", "btree"):
+        sweep = serving["process_scaling"][family]
+        assert {"K1", "K2", "K4"} <= set(sweep)
+        for label in ("K1", "K2", "K4"):
+            assert sweep[label]["process_lookups_per_s"] > 0
+        assert sweep["k4_over_k1_ratio"] > 0
