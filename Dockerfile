@@ -1,0 +1,24 @@
+# HTTP front door image: `docker run -p 8000:8000 <image>` serves the
+# batch JSON endpoints (see README "Serving over HTTP") on port 8000
+# with the runtime store on the /data volume, so accepted writes
+# survive a container restart.
+FROM python:3.12-slim
+
+# numpy is the project's only runtime dependency (pyproject.toml).
+RUN pip install --no-cache-dir numpy
+
+WORKDIR /app
+COPY pyproject.toml README.md ./
+COPY src ./src
+
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1
+
+RUN mkdir /data
+VOLUME /data
+EXPOSE 8000
+
+ENTRYPOINT ["python", "-m", "repro"]
+CMD ["serve", "--http", "--host", "0.0.0.0", "--port", "8000", \
+     "--store", "/data/runtime.db", \
+     "--metrics-out", "/data/metrics.jsonl"]

@@ -1,0 +1,164 @@
+"""HTTP serving benchmark: the load driver behind the wire boundary.
+
+Starts the network front door in-process (:class:`~repro.server.
+harness.ServerThread` over a freshly built ``IndexService``), asserts
+HTTP answers are bit-identical to in-process ``lookup_many`` on a twin
+service fed the same batches, then drives closed-loop concurrent
+clients (:func:`~repro.server.loadgen.run_load`) against
+``POST /v1/lookup`` — and a mixed read/write phase — recording
+sustained requests/s, keys/s, and p50/p99 request latency into
+``BENCH_perf.json`` under the ``"http_serving"`` key (other sections
+are preserved).
+
+CI floors ``http_serving.lookup.requests_per_s`` (and ``keys_per_s``)
+via ``check_regression.py --floors-only``: absolute, deliberately
+conservative minimums any runner must clear — the point is catching a
+server that stops serving, not micro-benchmarking the runner.
+
+Run directly::
+
+    python benchmarks/bench_http.py            # full (n=20k, 5s phases)
+    python benchmarks/bench_http.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.metrics import MetricsRegistry, scoped_registry  # noqa: E402
+from repro.server import HttpIndexClient, ServerThread, run_load  # noqa: E402
+from repro.serving import IndexService  # noqa: E402
+
+FAMILY = "lipp"
+N_SHARDS = 4
+
+
+def assert_parity(client: HttpIndexClient, twin: IndexService,
+                  keys: np.ndarray, rng: np.random.Generator) -> int:
+    """HTTP responses must be bit-identical to the in-process twin."""
+    checked = 0
+    for size in (1, 64, 512):
+        q = rng.choice(keys, size)
+        resp = client.lookup(q.tolist())
+        ref = twin.lookup_many(q)
+        if not (
+            resp["found"] == ref.found.tolist()
+            and resp["values"] == ref.values.tolist()
+            and resp["levels"] == ref.levels.tolist()
+            and resp["search_steps"] == ref.search_steps.tolist()
+        ):
+            raise AssertionError(f"HTTP lookup diverged from in-process (n={size})")
+        checked += size
+    fresh = int(keys[-1]) + 1 + rng.integers(0, 2**32, 128)
+    client.insert(fresh.tolist())
+    twin.insert_many(fresh)
+    q = np.concatenate([rng.choice(keys, 128), fresh[:64]])
+    resp = client.lookup(q.tolist())
+    ref = twin.lookup_many(q)
+    if not (
+        resp["found"] == ref.found.tolist()
+        and resp["values"] == ref.values.tolist()
+    ):
+        raise AssertionError("HTTP post-insert lookup diverged from in-process")
+    low, high = int(keys[100]), int(keys[300])
+    if client.range(low, high)["pairs"] != [
+        [int(k), int(v)] for k, v in twin.range_query(low, high)
+    ]:
+        raise AssertionError("HTTP range diverged from in-process")
+    return checked + q.size
+
+
+def run(quick: bool, out_path: Path, seed: int = 0) -> dict:
+    n = 5_000 if quick else 20_000
+    duration_s = 2.0 if quick else 5.0
+    clients = 4 if quick else 8
+    batch = 256
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, n * 10_000, n))
+
+    registry = MetricsRegistry(enabled=True)
+    with scoped_registry(registry):
+        service = IndexService.build(keys, family=FAMILY, n_shards=N_SHARDS)
+        twin = IndexService.build(keys, family=FAMILY, n_shards=N_SHARDS)
+        t0 = time.perf_counter()
+        with ServerThread(
+            service, registry=registry, max_pending=64, max_inflight=2
+        ) as srv:
+            startup_s = time.perf_counter() - t0
+            with HttpIndexClient(srv.host, srv.port) as client:
+                parity_keys = assert_parity(client, twin, keys, rng)
+            lookup = run_load(
+                srv.host, srv.port, keys,
+                clients=clients, batch=batch, duration_s=duration_s, seed=seed,
+            )
+            mixed = run_load(
+                srv.host, srv.port, keys,
+                clients=clients, batch=batch, duration_s=duration_s,
+                write_fraction=0.2, seed=seed + 1,
+            )
+        service.close()
+        twin.close()
+
+    if lookup.errors or mixed.errors:
+        raise AssertionError(
+            f"load run hit transport errors: {lookup.errors} + {mixed.errors}"
+        )
+    section = {
+        "config": {
+            "quick": quick,
+            "n": n,
+            "family": FAMILY,
+            "n_shards": N_SHARDS,
+            "clients": clients,
+            "batch": batch,
+            "duration_s": duration_s,
+            "cpu_count": os.cpu_count(),
+            "seed": seed,
+        },
+        "startup_seconds": round(startup_s, 3),
+        "parity": {"checked_keys": int(parity_keys), "status": "ok"},
+        "lookup": lookup.to_dict(),
+        "mixed": mixed.to_dict(),
+    }
+    report = {}
+    if out_path.exists():
+        report = json.loads(out_path.read_text())
+    report["http_serving"] = section
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return section
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_perf.json",
+        help="JSON report to merge the http_serving section into",
+    )
+    args = parser.parse_args(argv)
+    section = run(args.quick, args.out, args.seed)
+    for phase in ("lookup", "mixed"):
+        row = section[phase]
+        print(
+            f"{phase:6s}  {row['requests_per_s']:>10,.0f} req/s  "
+            f"{row['keys_per_s']:>12,.0f} keys/s  "
+            f"p50 {row['p50_ms']:.2f} ms  p99 {row['p99_ms']:.2f} ms  "
+            f"({row['requests']} requests, {row['rejected']} rejected)"
+        )
+    print(f"parity: {section['parity']['checked_keys']} keys bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

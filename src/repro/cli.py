@@ -10,7 +10,10 @@ Commands:
 * ``serve``     — simulate the sharded serving layer under a mixed
   read/write workload (per-shard latency percentiles and a health
   epilogue), or compare sharded against monolithic with ``--compare``;
-  ``--metrics-out`` streams JSON-lines metrics snapshots.
+  ``--metrics-out`` streams JSON-lines metrics snapshots.  With
+  ``--http`` the service is exposed over the network front door
+  (batch JSON endpoints, admission control, optional ``--store``
+  SQLite-WAL runtime store) until SIGINT/SIGTERM drains it.
 * ``metrics``   — render or validate a ``--metrics-out`` JSON-lines
   file (ASCII table, Prometheus text, or raw JSON).
 
@@ -28,13 +31,16 @@ Examples::
     python -m repro serve --index lipp --shards 4 --executor process --replicas 2
     python -m repro serve --index btree --shards 4 --compare
     python -m repro serve --metrics-out metrics.jsonl --ops 20000
+    python -m repro serve --http --port 8000 --store runtime.db
     python -m repro metrics --in metrics.jsonl --validate
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
 
 import numpy as np
@@ -152,6 +158,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--metrics-every", type=int, default=0, metavar="N",
         help="with --metrics-out, also snapshot every N workload batches",
+    )
+    p_serve.add_argument(
+        "--http", action="store_true",
+        help="serve the index over HTTP (batch JSON endpoints + /metrics) "
+             "instead of simulating a workload; runs until SIGINT/SIGTERM",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8000,
+        help="HTTP port (0 lets the OS pick; the bound port is logged)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="HTTP admission: batches queued beyond the in-flight ones "
+             "before requests are rejected with 429",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=2,
+        help="HTTP admission: batches executing concurrently",
+    )
+    p_serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="HTTP mode: SQLite-WAL runtime store persisting op "
+             "counters, the op log, and the query cache across restarts",
+    )
+    p_serve.add_argument(
+        "--no-replay", action="store_true",
+        help="with --store, skip re-applying the logged write ops on startup",
+    )
+    p_serve.add_argument(
+        "--metrics-every-s", type=float, default=5.0, metavar="S",
+        help="HTTP mode with --metrics-out: snapshot period in seconds",
     )
 
     p_metrics = sub.add_parser(
@@ -291,6 +329,74 @@ def _executor_spec(args: argparse.Namespace):
     )
 
 
+@contextlib.contextmanager
+def _close_on_signals():
+    """Convert SIGTERM into an orderly :class:`SystemExit`.
+
+    The ``serve`` body runs inside ``with IndexService...``, whose
+    ``close()`` does the ordered merge-drain + executor teardown — but
+    only when the exception actually unwinds through the block.
+    SIGINT already raises ``KeyboardInterrupt`` there; an unhandled
+    SIGTERM, by contrast, kills the process outright and skips the
+    teardown.  Installed for the duration of a ``serve`` run.
+    """
+
+    def _handler(signum: int, frame) -> None:
+        raise SystemExit(128 + signum)
+
+    previous = signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    """The ``serve --http`` branch: the network front door."""
+    from .obs.metrics import MetricsRegistry, scoped_registry
+    from .server import RuntimeStore, run_http_server
+    from .serving import IndexService
+
+    keys = load(args.dataset, args.n)
+    # The HTTP server is long-lived: instrumentation is always on so
+    # GET /metrics and --metrics-out have something to export.
+    registry = MetricsRegistry(enabled=True)
+    store = RuntimeStore(args.store) if args.store else None
+    with scoped_registry(registry), IndexService.build(
+        keys,
+        family=args.index,
+        n_shards=args.shards,
+        mode=args.mode,
+        alpha=_parse_alpha(args.alpha),
+        executor=_executor_spec(args),
+        max_workers=args.threads or None,
+        cache_blocks=args.cache_blocks,
+        staleness_threshold=args.staleness,
+    ) as service:
+        _say(
+            f"http front door: {args.index} x {service.n_shards} shards over "
+            f"{keys.size} {args.dataset} keys; admission "
+            f"{args.max_pending} pending / {args.max_inflight} in flight"
+        )
+        if store is not None:
+            _say(f"runtime store: {store.path} (journal mode {store.journal_mode()})")
+        code = run_http_server(
+            service,
+            args.host,
+            args.port,
+            registry=registry,
+            store=store,
+            max_pending=args.max_pending,
+            max_inflight=args.max_inflight,
+            metrics_out=args.metrics_out,
+            metrics_every_s=args.metrics_every_s,
+            replay=not args.no_replay,
+            on_listening=lambda h, p: _say(f"http: listening on http://{h}:{p}"),
+        )
+        _say("http: drained and stopped")
+        return code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .evaluation.runner import run_sharded_experiment
     from .obs.export import write_jsonl
@@ -302,6 +408,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         _say("--threads is superseded by --executor; "
              "use --executor thread --workers N")
         return 2
+    if args.http:
+        if args.compare:
+            _say("--http and --compare are mutually exclusive")
+            return 2
+        return _cmd_serve_http(args)
     executor = _executor_spec(args)
 
     if args.compare:
@@ -353,7 +464,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.threads or None,
         cache_blocks=args.cache_blocks,
         staleness_threshold=args.staleness,
-    ) as service:
+    ) as service, _close_on_signals():
         snap()
         plan = service.plan
         spec = service.router.executor_spec
@@ -378,20 +489,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 + ", ".join("-" if a is None else f"{a:.3f}" for a in plan.alphas)
             )
         every = max(args.metrics_every, 0)
-        report = run_service_workload(
-            service,
-            keys,
-            n_ops=args.ops,
-            read_fraction=args.read_frac,
-            batch_size=args.batch,
-            distribution="zipf" if args.zipf else "uniform",
-            seed=args.seed,
-            on_batch=(
-                (lambda b: snap() if (b + 1) % every == 0 else None)
-                if args.metrics_out and every
-                else None
-            ),
-        )
+        try:
+            report = run_service_workload(
+                service,
+                keys,
+                n_ops=args.ops,
+                read_fraction=args.read_frac,
+                batch_size=args.batch,
+                distribution="zipf" if args.zipf else "uniform",
+                seed=args.seed,
+                on_batch=(
+                    (lambda b: snap() if (b + 1) % every == 0 else None)
+                    if args.metrics_out and every
+                    else None
+                ),
+            )
+        except (KeyboardInterrupt, SystemExit):
+            # The with-block still runs IndexService.close(): merges
+            # drain and executor workers stop in order before exit.
+            _say("\ninterrupted — draining merges and closing shards")
+            snap()
+            return 130
         _say(
             f"\nworkload: {report.n_reads} reads / {report.n_writes} writes in "
             f"{report.n_batches} batches, {report.wall_seconds:.2f}s wall "

@@ -41,6 +41,7 @@ from typing import IO, Iterable
 from .metrics import Histogram, MetricsRegistry
 
 __all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
     "snapshot",
     "write_jsonl",
     "to_prometheus",
@@ -48,6 +49,10 @@ __all__ = [
     "snapshot_table",
     "validate_metrics_lines",
 ]
+
+#: The content type a scrape endpoint must serve the text exposition
+#: under (what the HTTP front door's ``GET /metrics`` sends).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Schema version stamped on every snapshot line.
 SCHEMA_VERSION = 1

@@ -1,0 +1,49 @@
+"""HTTP network front door over the sharded serving stack.
+
+Everything below this package used to end at an in-process
+:class:`~repro.serving.service.IndexService` call; this is the wire
+boundary that lets anything outside one Python process reach it.
+Dependency-free (stdlib ``asyncio`` + ``sqlite3`` + ``http.client``),
+like the rest of the repo:
+
+* :mod:`~repro.server.app` — the HTTP/1.1 keep-alive server and its
+  JSON endpoints (``/v1/lookup``, ``/v1/insert``, ``/v1/range``,
+  ``/v1/health``, ``/v1/stats``, ``/metrics``), run in the foreground
+  by ``repro serve --http``.
+* :mod:`~repro.server.admission` — bounded request queue: overload
+  answers ``429 + Retry-After`` instead of building invisible
+  backlog, and shutdown drains every accepted batch.
+* :mod:`~repro.server.runtime_store` — SQLite-WAL persistence of op
+  counters, an append-only op log (replayed on reopen), and the
+  service's query-cache blocks.
+* :mod:`~repro.server.loadgen` — the closed-loop client + load
+  driver ``benchmarks/bench_http.py`` records into ``BENCH_perf.json``.
+* :mod:`~repro.server.harness` — background-thread server for tests
+  and benchmarks.
+
+The names re-exported here are the stable public surface of the
+wire layer.
+"""
+
+from .admission import AdmissionController, ClosingError, OverloadedError
+from .app import BadRequestError, HttpFrontDoor, run_http_server
+from .harness import ServerThread
+from .loadgen import HttpIndexClient, HttpStatusError, LoadReport, run_load
+from .runtime_store import OpRecord, RuntimeState, RuntimeStore
+
+__all__ = [
+    "AdmissionController",
+    "BadRequestError",
+    "ClosingError",
+    "HttpFrontDoor",
+    "HttpIndexClient",
+    "HttpStatusError",
+    "LoadReport",
+    "OpRecord",
+    "OverloadedError",
+    "RuntimeState",
+    "RuntimeStore",
+    "ServerThread",
+    "run_http_server",
+    "run_load",
+]

@@ -1,0 +1,688 @@
+"""The HTTP front door: asyncio wire protocol over ``IndexService``.
+
+Dependency-free by design (the same rule ``obs/`` follows): the
+container this grows in has no FastAPI/uvicorn, so the server is a
+hand-rolled HTTP/1.1 keep-alive loop on ``asyncio`` streams.  The
+surface is small and JSON-only:
+
+========  =============  ==================================================
+method    path           body → response
+========  =============  ==================================================
+POST      /v1/lookup     ``{"keys": [..]}`` → parallel ``found`` /
+                         ``values`` / ``levels`` / ``search_steps`` arrays
+POST      /v1/insert     ``{"keys": [..], "values": [..]?}`` →
+                         ``{"accepted": n}``
+POST      /v1/range      ``{"low": L, "high": H}`` → ``{"pairs": [[k,v]..]}``
+GET       /v1/health     ``IndexService.health_report()`` as JSON
+GET       /v1/stats      service + admission + store counters
+GET       /metrics       Prometheus text exposition of the registry
+========  =============  ==================================================
+
+Batch endpoints go through the :class:`~repro.server.admission.
+AdmissionController`: a full queue answers ``429`` with a
+``Retry-After`` hint *before* any work is spent, and shutdown drains
+every admitted batch before the loop exits (``503`` for late
+arrivals).  Responses carry exact integers end to end — Python JSON
+ints are arbitrary-precision, so the wire answers are bit-identical
+to in-process ``lookup_many`` (the parity suite holds this).
+
+With a :class:`~repro.server.runtime_store.RuntimeStore` attached,
+accepted write batches are logged durably before they are applied,
+op counters persist across restarts, and the service's query cache is
+saved at shutdown / restored at startup; ``metrics_out`` streams the
+same JSON-lines snapshots ``repro serve --metrics-out`` writes, so
+``repro metrics --validate`` passes on a live server's file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import json
+import signal
+import threading
+import time
+from typing import Any, Awaitable, Callable
+
+import numpy as np
+
+from ..obs.export import PROMETHEUS_CONTENT_TYPE, to_prometheus, write_jsonl
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry, get_registry
+from .admission import AdmissionController, ClosingError, OverloadedError
+from .runtime_store import RuntimeStore
+
+__all__ = ["BadRequestError", "HttpFrontDoor", "run_http_server"]
+
+_log = get_logger("server")
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Hard cap on request bodies (bytes) — a 64 MiB body is ~8M int64
+#: keys, far past any sane batch.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Hard cap on keys per batch request.
+MAX_BATCH_KEYS = 1_000_000
+
+#: Hard cap on pairs one /v1/range response will return.
+MAX_RANGE_PAIRS = 1_000_000
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Counter names the runtime store persists and restores, beyond the
+#: per-route request counters (which are stored under their key).
+SERVICE_STAT_FIELDS = (
+    "n_lookups",
+    "n_inserts",
+    "buffer_hits",
+    "cache_hits",
+    "cache_misses",
+    "cache_fills",
+    "merges",
+    "merged_keys",
+    "resmoothed_shards",
+)
+
+
+class BadRequestError(Exception):
+    """Client-side request error (HTTP 400)."""
+
+
+class _ReadWriteLock:
+    """Many concurrent readers XOR one writer.
+
+    ``IndexService`` is single-driver by contract: a synchronous
+    staleness merge rebuilds shard structure in place, and a lookup
+    racing it trips ``StaleFlatError`` (or worse).  The front door is
+    the first caller with real concurrency (``max_inflight`` worker
+    threads), so it imposes the discipline here: lookup/range batches
+    share the service, an insert batch takes it exclusively.  With
+    ``max_inflight`` small, a writer waits for at most a couple of
+    in-flight read batches — no starvation in practice.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+def _require_int_list(obj: dict, key: str, max_len: int) -> list[int]:
+    value = obj.get(key)
+    if not isinstance(value, list) or not value:
+        raise BadRequestError(f"'{key}' must be a non-empty array of integers")
+    if len(value) > max_len:
+        raise BadRequestError(f"'{key}' exceeds the {max_len}-key batch cap")
+    if not all(isinstance(v, int) and not isinstance(v, bool) for v in value):
+        raise BadRequestError(f"'{key}' must contain only integers")
+    return value
+
+
+def _as_int64(values: list[int], what: str) -> np.ndarray:
+    try:
+        return np.asarray(values, dtype=np.int64)
+    except (OverflowError, ValueError) as exc:
+        raise BadRequestError(f"{what} outside the int64 key domain") from exc
+
+
+def parse_lookup_request(obj: Any) -> np.ndarray:
+    """``{"keys": [..]}`` → int64 query array (or BadRequestError)."""
+    if not isinstance(obj, dict):
+        raise BadRequestError("body must be a JSON object")
+    return _as_int64(_require_int_list(obj, "keys", MAX_BATCH_KEYS), "keys")
+
+
+def parse_insert_request(obj: Any) -> tuple[np.ndarray, np.ndarray | None]:
+    """``{"keys": [..], "values": [..]?}`` → (keys, values-or-None)."""
+    if not isinstance(obj, dict):
+        raise BadRequestError("body must be a JSON object")
+    keys = _as_int64(_require_int_list(obj, "keys", MAX_BATCH_KEYS), "keys")
+    values = None
+    if obj.get("values") is not None:
+        values = _as_int64(
+            _require_int_list(obj, "values", MAX_BATCH_KEYS), "values"
+        )
+        if values.size != keys.size:
+            raise BadRequestError("'values' must parallel 'keys'")
+    return keys, values
+
+
+def parse_range_request(obj: Any) -> tuple[int, int]:
+    """``{"low": L, "high": H}`` → validated inclusive bounds."""
+    if not isinstance(obj, dict):
+        raise BadRequestError("body must be a JSON object")
+    bounds = []
+    for key in ("low", "high"):
+        value = obj.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise BadRequestError(f"'{key}' must be an integer")
+        bounds.append(value)
+    low, high = bounds
+    info = np.iinfo(np.int64)
+    if not (info.min <= low <= info.max and info.min <= high <= info.max):
+        raise BadRequestError("range bounds outside the int64 key domain")
+    if low > high:
+        raise BadRequestError("'low' must not exceed 'high'")
+    return low, high
+
+
+class HttpFrontDoor:
+    """One HTTP server bound to one :class:`IndexService`."""
+
+    def __init__(
+        self,
+        service,
+        *,
+        registry: MetricsRegistry | None = None,
+        store: RuntimeStore | None = None,
+        max_pending: int = 64,
+        max_inflight: int = 2,
+        metrics_out: str | None = None,
+        metrics_every_s: float = 0.0,
+        drain_timeout_s: float = 30.0,
+        replay: bool = True,
+    ):
+        self.service = service
+        self.registry = registry if registry is not None else get_registry()
+        self.store = store
+        self.max_pending = int(max_pending)
+        self.max_inflight = int(max_inflight)
+        self.metrics_out = metrics_out
+        self.metrics_every_s = float(metrics_every_s)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.replay = bool(replay)
+        self.host: str | None = None
+        self.port: int | None = None
+        self.admission: AdmissionController | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._snapshot_task: asyncio.Task | None = None
+        self._shutdown_requested = asyncio.Event()
+        self._shutdown_done = False
+        self._rwlock = _ReadWriteLock()
+        reg = self.registry
+        self._c_requests = {
+            route: reg.counter("http_requests_total", route=route)
+            for route in ("lookup", "insert", "range", "health", "stats", "metrics")
+        }
+        self._c_errors = reg.counter("http_errors_total")
+        self._c_keys_looked_up = reg.counter("http_keys_looked_up_total")
+        self._c_keys_inserted = reg.counter("http_keys_inserted_total")
+        self._c_replayed_ops = reg.counter("http_replayed_ops_total")
+        self._h_request_s = reg.histogram("http_request_seconds")
+        self._routes: dict[tuple[str, str], Callable[[Any], Awaitable]] = {
+            ("POST", "/v1/lookup"): self._h_lookup,
+            ("POST", "/v1/insert"): self._h_insert,
+            ("POST", "/v1/range"): self._h_range,
+            ("GET", "/v1/health"): self._h_health,
+            ("GET", "/v1/stats"): self._h_stats,
+            ("GET", "/metrics"): self._h_metrics,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 8000) -> tuple[str, int]:
+        """Replay persisted state, bind, and start serving.
+
+        Returns the bound ``(host, port)`` — with ``port=0`` the OS
+        picks a free port, which the tests and the port-0 CLI use.
+        """
+        self.admission = AdmissionController(
+            max_pending=self.max_pending,
+            max_inflight=self.max_inflight,
+            registry=self.registry,
+        )
+        self._restore_from_store()
+        if self.metrics_out:
+            open(self.metrics_out, "w", encoding="utf-8").close()
+            self._snapshot()
+        self._server = await asyncio.start_server(
+            self._handle_conn, host=host, port=port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        if self.metrics_every_s > 0 and self.metrics_out:
+            self._snapshot_task = asyncio.create_task(self._snapshot_loop())
+        return self.host, self.port
+
+    def _restore_from_store(self) -> None:
+        """Apply the runtime store's replayable state to the service."""
+        if self.store is None:
+            return
+        state = self.store.replay()
+        if self.replay:
+            for record in state.ops:
+                if record.op == "insert":
+                    self.service.insert_many(record.keys, record.values)
+                    self._c_replayed_ops.inc()
+        imported = self.service.import_cache_blocks(state.cache_blocks)
+        if state.ops or imported:
+            _log.info(
+                f"runtime store: replayed {len(state.ops)} op(s), "
+                f"restored {imported} cache block(s)"
+            )
+        # Counter restore comes *after* replay so the persisted totals
+        # overwrite the bumps replaying just caused.
+        service_counters = {
+            name[len("service."):]: value
+            for name, value in state.counters.items()
+            if name.startswith("service.")
+        }
+        if service_counters:
+            self.service.restore_stats(service_counters)
+        for name, value in state.counters.items():
+            if name.startswith("http_"):
+                counter = self._persisted_counter(name)
+                if counter is not None and counter.value < value:
+                    counter.inc(value - counter.value)
+
+    def _persisted_counter(self, name: str):
+        for route, counter in self._c_requests.items():
+            if name == f"http_requests_total.{route}":
+                return counter
+        return {
+            "http_keys_looked_up_total": self._c_keys_looked_up,
+            "http_keys_inserted_total": self._c_keys_inserted,
+            "http_errors_total": self._c_errors,
+        }.get(name)
+
+    def _persistable_counters(self) -> dict[str, int]:
+        out = {
+            f"http_requests_total.{route}": counter.value
+            for route, counter in self._c_requests.items()
+        }
+        out["http_keys_looked_up_total"] = self._c_keys_looked_up.value
+        out["http_keys_inserted_total"] = self._c_keys_inserted.value
+        out["http_errors_total"] = self._c_errors.value
+        stats = self.service.stats
+        for field_name in SERVICE_STAT_FIELDS:
+            out[f"service.{field_name}"] = int(getattr(stats, field_name))
+        return out
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown (signal-handler and test entry)."""
+        self._shutdown_requested.set()
+
+    async def run_until_shutdown(self, install_signals: bool = True) -> None:
+        """Serve until shutdown is requested, then drain and stop."""
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except NotImplementedError:  # non-Unix event loop
+                    signal.signal(signum, lambda *_: self.request_shutdown())
+        await self._shutdown_requested.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: refuse, drain, persist — in that order."""
+        if self._shutdown_done:
+            return
+        self._shutdown_done = True
+        assert self.admission is not None
+        # 1. No new work: late requests get 503, new connections are
+        #    refused at accept.
+        self.admission.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # 2. Every *accepted* batch completes (bounded, on the daemon
+        #    pool, so a wedged batch cannot hang the exit forever).
+        drained = await self.admission.drain(timeout=self.drain_timeout_s)
+        if not drained:
+            _log.info("shutdown: drain timed out with batches in flight")
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            try:
+                await self._snapshot_task
+            except asyncio.CancelledError:
+                pass
+        # 3. Idle keep-alive connections are dropped only now.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.admission.shutdown_pool()
+        # 4. Persist what the next process will replay.
+        if self.store is not None:
+            self.store.save_counters(self._persistable_counters())
+            self.store.save_cache_blocks(self.service.export_cache_blocks())
+            self.store.close()
+        self._snapshot()
+
+    # ------------------------------------------------------------------
+    # Metrics snapshots
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> None:
+        if self.metrics_out:
+            write_jsonl(self.metrics_out, self.registry)
+
+    async def _snapshot_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.metrics_every_s)
+            self._snapshot()
+            if self.store is not None:
+                self.store.save_counters(self._persistable_counters())
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+            asyncio.CancelledError,
+        ):
+            pass  # client went away (or shutdown cancelled an idle reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise asyncio.IncompleteReadError(line, None)
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        body = await reader.readexactly(length) if length > 0 else b""
+        return method.upper(), target.split("?", 1)[0], headers, body
+
+    async def _dispatch(
+        self,
+        request: tuple[str, str, dict[str, str], bytes],
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        method, path, headers, body = request
+        start = time.perf_counter()
+        status = 500
+        payload: bytes = b""
+        content_type = JSON_CONTENT_TYPE
+        extra: list[tuple[str, str]] = []
+        keep_alive = headers.get("connection", "").lower() != "close"
+        try:
+            if len(body) > MAX_BODY_BYTES:
+                status, payload = 413, _error_body("request body too large")
+            else:
+                handler = self._routes.get((method, path))
+                if handler is None:
+                    known_paths = {p for (_m, p) in self._routes}
+                    status = 405 if path in known_paths else 404
+                    payload = _error_body(
+                        "method not allowed" if status == 405 else "no such route"
+                    )
+                else:
+                    obj = None
+                    if method == "POST":
+                        try:
+                            obj = json.loads(body.decode("utf-8")) if body else {}
+                        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                            raise BadRequestError(f"invalid JSON body: {exc}") from exc
+                    status, result, content_type = await handler(obj)
+                    payload = (
+                        result
+                        if isinstance(result, bytes)
+                        else json.dumps(result, sort_keys=True).encode("utf-8")
+                    )
+        except BadRequestError as exc:
+            status, payload = 400, _error_body(str(exc))
+        except OverloadedError as exc:
+            status = 429
+            extra.append(("Retry-After", f"{int(exc.retry_after_s)}"))
+            payload = _error_body(
+                "overloaded", queued=exc.queued, running=exc.running,
+                retry_after_s=exc.retry_after_s,
+            )
+        except ClosingError:
+            status, keep_alive = 503, False
+            extra.append(("Connection", "close"))
+            payload = _error_body("server is draining")
+        except Exception as exc:  # the server must not die with a request
+            _log.info(f"500 on {method} {path}: {exc!r}")
+            status, payload = 500, _error_body("internal error")
+        if status >= 400:
+            self._c_errors.inc()
+        self._h_request_s.observe(time.perf_counter() - start)
+        await self._write_response(
+            writer, status, payload, content_type, extra, keep_alive
+        )
+        return keep_alive
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra: list[tuple[str, str]],
+        keep_alive: bool,
+    ) -> None:
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        names = {name.lower() for name, _ in extra}
+        if "connection" not in names:
+            headers.append(
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"
+            )
+        headers.extend(f"{name}: {value}" for name, value in extra)
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _h_lookup(self, obj: Any):
+        keys = parse_lookup_request(obj)
+        assert self.admission is not None
+
+        def work() -> dict:
+            with self._rwlock.read():
+                batch = self.service.lookup_many(keys)
+            return {
+                "n": int(batch.keys.size),
+                "found": batch.found.tolist(),
+                "values": batch.values.tolist(),
+                "levels": batch.levels.tolist(),
+                "search_steps": batch.search_steps.tolist(),
+            }
+
+        result = await self.admission.run(work)
+        self._c_requests["lookup"].inc()
+        self._c_keys_looked_up.inc(int(keys.size))
+        return 200, result, JSON_CONTENT_TYPE
+
+    async def _h_insert(self, obj: Any):
+        keys, values = parse_insert_request(obj)
+        assert self.admission is not None
+
+        def work() -> dict:
+            # Log-then-apply: a crash between the two replays the op.
+            if self.store is not None:
+                self.store.record_op("insert", keys, values)
+            # Writers are exclusive: a staleness merge may rebuild
+            # shard structure in place under this batch.
+            with self._rwlock.write():
+                self.service.insert_many(keys, values)
+            if self.store is not None:
+                self.store.save_counters(self._persistable_counters())
+            return {"accepted": int(keys.size)}
+
+        result = await self.admission.run(work)
+        self._c_requests["insert"].inc()
+        self._c_keys_inserted.inc(int(keys.size))
+        return 200, result, JSON_CONTENT_TYPE
+
+    async def _h_range(self, obj: Any):
+        low, high = parse_range_request(obj)
+        assert self.admission is not None
+
+        def work() -> dict:
+            with self._rwlock.read():
+                pairs = self.service.range_query(low, high)
+            if len(pairs) > MAX_RANGE_PAIRS:
+                raise BadRequestError(
+                    f"range matches {len(pairs)} pairs "
+                    f"(cap {MAX_RANGE_PAIRS}); narrow the bounds"
+                )
+            return {
+                "n": len(pairs),
+                "pairs": [[int(k), int(v)] for k, v in pairs],
+            }
+
+        result = await self.admission.run(work)
+        self._c_requests["range"].inc()
+        return 200, result, JSON_CONTENT_TYPE
+
+    async def _h_health(self, _obj: Any):
+        self._c_requests["health"].inc()
+        report = dataclasses.asdict(self.service.health_report())
+        assert self.admission is not None
+        report["admission"] = {
+            "queued": self.admission.queued,
+            "running": self.admission.running,
+            "max_pending": self.max_pending,
+            "max_inflight": self.max_inflight,
+            "closing": self.admission.closing,
+        }
+        return 200, report, JSON_CONTENT_TYPE
+
+    async def _h_stats(self, _obj: Any):
+        self._c_requests["stats"].inc()
+        stats = self.service.stats
+        out = {
+            "service": {
+                name: int(getattr(stats, name)) for name in SERVICE_STAT_FIELDS
+            },
+            "http": self._persistable_counters(),
+            "n_keys": int(self.service.n_keys),
+            "n_shards": int(self.service.n_shards),
+            "store": None
+            if self.store is None
+            else {
+                "path": str(self.store.path),
+                "journal_mode": self.store.journal_mode(),
+                "op_log_entries": self.store.op_count(),
+            },
+        }
+        return 200, out, JSON_CONTENT_TYPE
+
+    async def _h_metrics(self, _obj: Any):
+        self._c_requests["metrics"].inc()
+        text = to_prometheus(self.registry)
+        return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+
+
+def _error_body(message: str, **details) -> bytes:
+    return json.dumps({"error": message, **details}, sort_keys=True).encode("utf-8")
+
+
+def run_http_server(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    registry: MetricsRegistry | None = None,
+    store: RuntimeStore | None = None,
+    max_pending: int = 64,
+    max_inflight: int = 2,
+    metrics_out: str | None = None,
+    metrics_every_s: float = 0.0,
+    replay: bool = True,
+    on_listening: Callable[[str, int], None] | None = None,
+) -> int:
+    """Run the front door in the foreground until SIGINT/SIGTERM.
+
+    The blocking entry the ``repro serve --http`` CLI uses; returns 0
+    after a graceful drain.
+    """
+    front = HttpFrontDoor(
+        service,
+        registry=registry,
+        store=store,
+        max_pending=max_pending,
+        max_inflight=max_inflight,
+        metrics_out=metrics_out,
+        metrics_every_s=metrics_every_s,
+        replay=replay,
+    )
+
+    async def _amain() -> None:
+        bound_host, bound_port = await front.start(host, port)
+        if on_listening is not None:
+            on_listening(bound_host, bound_port)
+        await front.run_until_shutdown(install_signals=True)
+
+    asyncio.run(_amain())
+    return 0

@@ -412,6 +412,57 @@ class IndexService:
         """Per-replica worker health (empty unless process-executed)."""
         return self.router.executor_report()
 
+    # ------------------------------------------------------------------
+    # Runtime-store hooks (the HTTP front door's persistence points)
+    # ------------------------------------------------------------------
+    def export_cache_blocks(self) -> list[tuple[int, int, np.ndarray, np.ndarray]]:
+        """Snapshot the LRU block cache as ``(shard, block, keys, values)``
+        tuples, oldest first — what the runtime store persists at
+        shutdown so a restarted server does not begin cache-cold."""
+        with self._cache_lock:
+            return [
+                (shard, block, ckeys.copy(), cvals.copy())
+                for (shard, block), (ckeys, cvals) in self._cache.items()
+            ]
+
+    def import_cache_blocks(
+        self, blocks: Sequence[tuple[int, int, np.ndarray, np.ndarray]]
+    ) -> int:
+        """Refill the block cache from an exported snapshot.
+
+        Blocks for unknown shards are skipped, LRU order follows the
+        given order (last block is most recent), and the cache budget
+        still applies.  Returns how many blocks were imported; a
+        cache-less service (``cache_blocks == 0``) imports none.
+        """
+        if self.cache_blocks <= 0:
+            return 0
+        imported = 0
+        with self._cache_lock:
+            for shard_no, block_id, ckeys, cvals in blocks:
+                if not 0 <= int(shard_no) < self.n_shards:
+                    continue
+                token = (int(shard_no), int(block_id))
+                self._cache[token] = (
+                    np.asarray(ckeys, dtype=np.int64),
+                    np.asarray(cvals, dtype=np.int64),
+                )
+                self._cache.move_to_end(token)
+                imported += 1
+                while len(self._cache) > self.cache_blocks:
+                    self._cache.popitem(last=False)
+        return imported
+
+    def restore_stats(self, counters: dict) -> None:
+        """Overwrite :class:`ServiceStats` fields from persisted totals.
+
+        The runtime store calls this on reopen *after* op-log replay,
+        so cumulative operation counters keep counting across
+        restarts instead of resetting (unknown keys are ignored)."""
+        for name, value in counters.items():
+            if hasattr(self.stats, name):
+                setattr(self.stats, name, int(value))
+
     def worker_restarts(self) -> int:
         """Shard workers respawned after a crash or timeout."""
         return self.router.worker_restarts()

@@ -1,0 +1,228 @@
+"""Admission control: bounded queue, 429 backpressure, graceful drain.
+
+Unit layer drives :class:`AdmissionController` directly inside a
+fresh event loop; the end-to-end layer pushes a slowed service into
+overload over real sockets and asserts the acceptance criteria:
+queue-full returns 429 with a ``Retry-After`` hint, the server
+recovers the moment load drops, and work admitted before shutdown is
+never dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, scoped_registry
+from repro.server import (
+    AdmissionController,
+    ClosingError,
+    HttpIndexClient,
+    HttpStatusError,
+    OverloadedError,
+    ServerThread,
+)
+from repro.serving import IndexService
+
+from .conftest import FAMILY, N_SHARDS, SlowService
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestControllerUnit:
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError):
+            run_async(self._make(max_inflight=0))
+        with pytest.raises(ValueError):
+            run_async(self._make(max_pending=-1))
+
+    @staticmethod
+    async def _make(**kwargs):
+        AdmissionController(registry=MetricsRegistry(enabled=False), **kwargs)
+
+    def test_runs_and_accounts(self):
+        async def scenario():
+            reg = MetricsRegistry(enabled=True)
+            ctl = AdmissionController(max_pending=4, max_inflight=2, registry=reg)
+            results = await asyncio.gather(*[ctl.run(lambda i=i: i * i) for i in range(4)])
+            assert sorted(results) == [0, 1, 4, 9]
+            assert reg.counter("http_admitted_total").value == 4
+            assert reg.counter("http_completed_total").value == 4
+            assert reg.counter("http_rejected_total").value == 0
+            assert ctl.queued == 0 and ctl.running == 0
+            ctl.shutdown_pool()
+
+        run_async(scenario())
+
+    def test_rejects_when_full_then_recovers(self):
+        async def scenario():
+            ctl = AdmissionController(
+                max_pending=1, max_inflight=1, registry=MetricsRegistry(enabled=True)
+            )
+            gate = threading.Event()
+            blocked = [asyncio.ensure_future(ctl.run(gate.wait)) for _ in range(2)]
+            await asyncio.sleep(0.1)  # one running, one queued → full
+            with pytest.raises(OverloadedError) as exc:
+                await ctl.run(lambda: None)
+            assert exc.value.retry_after_s >= 1.0
+            assert ctl.registry.counter("http_rejected_total").value == 1
+            gate.set()
+            await asyncio.gather(*blocked)
+            assert await ctl.run(lambda: "ok") == "ok"  # recovered
+            ctl.shutdown_pool()
+
+        run_async(scenario())
+
+    def test_exceptions_propagate_and_free_the_slot(self):
+        async def scenario():
+            ctl = AdmissionController(
+                max_pending=0, max_inflight=1, registry=MetricsRegistry(enabled=False)
+            )
+            with pytest.raises(RuntimeError, match="boom"):
+                await ctl.run(self._boom)
+            assert await ctl.run(lambda: 7) == 7
+            ctl.shutdown_pool()
+
+        run_async(scenario())
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("boom")
+
+    def test_close_refuses_but_drain_finishes_admitted_work(self):
+        async def scenario():
+            ctl = AdmissionController(
+                max_pending=2, max_inflight=1, registry=MetricsRegistry(enabled=False)
+            )
+            gate = threading.Event()
+            done = []
+            admitted = [
+                asyncio.ensure_future(
+                    ctl.run(lambda i=i: (gate.wait(), done.append(i))[1])
+                )
+                for i in range(3)
+            ]
+            await asyncio.sleep(0.1)
+            ctl.close()
+            with pytest.raises(ClosingError):
+                await ctl.run(lambda: None)
+            assert not await ctl.drain(timeout=0.1)  # still blocked
+            gate.set()
+            assert await ctl.drain(timeout=10.0)
+            await asyncio.gather(*admitted)
+            assert len(done) == 3  # nothing admitted was dropped
+            ctl.shutdown_pool()
+
+        run_async(scenario())
+
+    def test_retry_after_scales_with_backlog(self):
+        async def scenario():
+            ctl = AdmissionController(
+                max_pending=8, max_inflight=1, registry=MetricsRegistry(enabled=False)
+            )
+            assert ctl.retry_after_s() == 1.0  # floor before any observation
+            ctl._observe_batch(2.0)
+            ctl._admitted = 5
+            assert ctl.retry_after_s() >= 2.0
+            ctl.shutdown_pool()
+
+        run_async(scenario())
+
+
+@pytest.fixture()
+def slow_server(rng):
+    """A served service whose every batch takes ~0.25 s, queue depth 2."""
+    keys = np.unique(rng.integers(0, 10**8, 1_200))
+    registry = MetricsRegistry(enabled=True)
+    with scoped_registry(registry):
+        service = IndexService.build(keys, family=FAMILY, n_shards=N_SHARDS)
+        slow = SlowService(service, delay_s=0.25)
+        try:
+            with ServerThread(
+                slow, registry=registry, max_pending=1, max_inflight=1
+            ) as srv:
+                yield srv, keys, registry
+        finally:
+            service.close()
+
+
+class TestEndToEndOverload:
+    def test_429_with_retry_after_then_recovery(self, slow_server, rng):
+        srv, keys, registry = slow_server
+        q = rng.choice(keys, 64).tolist()
+        outcomes: list[tuple[int, float]] = []
+        lock = threading.Lock()
+
+        def fire():
+            with HttpIndexClient(srv.host, srv.port) as client:
+                try:
+                    client.lookup(q)
+                    row = (200, 0.0)
+                except HttpStatusError as exc:
+                    row = (exc.status, exc.retry_after_s)
+            with lock:
+                outcomes.append(row)
+
+        threads = [threading.Thread(target=fire) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        statuses = sorted(s for s, _ in outcomes)
+        assert statuses.count(200) >= 1
+        assert statuses.count(429) >= 2  # capacity 2 < 6 concurrent
+        assert all(ra >= 1.0 for s, ra in outcomes if s == 429)
+        assert registry.counter("http_rejected_total").value >= 2
+        # Load gone → the very next request is served.
+        with HttpIndexClient(srv.host, srv.port) as client:
+            assert client.lookup(q)["n"] == len(q)
+
+    def test_health_reports_admission_limits(self, slow_server):
+        srv, _keys, _registry = slow_server
+        with HttpIndexClient(srv.host, srv.port) as client:
+            adm = client.health()["admission"]
+        assert adm == {
+            "queued": 0,
+            "running": 0,
+            "max_pending": 1,
+            "max_inflight": 1,
+            "closing": False,
+        }
+
+
+class TestDrainOnShutdown:
+    def test_inflight_work_completes_through_shutdown(self, rng):
+        keys = np.unique(rng.integers(0, 10**8, 1_200))
+        registry = MetricsRegistry(enabled=True)
+        with scoped_registry(registry):
+            service = IndexService.build(keys, family=FAMILY, n_shards=N_SHARDS)
+            slow = SlowService(service, delay_s=0.5)
+            srv = ServerThread(slow, registry=registry).start()
+            results: dict[str, object] = {}
+
+            def long_lookup():
+                with HttpIndexClient(srv.host, srv.port) as client:
+                    try:
+                        results["resp"] = client.lookup(rng.choice(keys, 32).tolist())
+                    except Exception as exc:  # noqa: BLE001 — recorded for assert
+                        results["error"] = exc
+
+            worker = threading.Thread(target=long_lookup)
+            worker.start()
+            time.sleep(0.2)  # batch admitted and executing
+            srv.stop()  # graceful: drains before closing connections
+            worker.join(timeout=30)
+            assert "error" not in results, results.get("error")
+            assert results["resp"]["n"] == 32
+            assert registry.counter("http_completed_total").value >= 1
+            # After shutdown the port no longer accepts work.
+            with pytest.raises(OSError):
+                with HttpIndexClient(srv.host, srv.port, timeout=2) as client:
+                    client.health()
+            service.close()

@@ -1,0 +1,133 @@
+"""The ``serve`` CLI as a real process: signals, drain, metrics file.
+
+These run ``python -m repro serve ...`` in a subprocess because the
+contract under test is process-shaped: SIGTERM must produce an
+orderly drain (exit 0 in HTTP mode, 130 in the simulation), and the
+``--metrics-out`` stream a live server writes must pass
+``repro metrics --validate``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.server import HttpIndexClient
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+LISTEN_RE = re.compile(r"http: listening on http://([\d.]+):(\d+)")
+
+
+def spawn(*argv: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_SRC)},
+    )
+
+
+def wait_for_port(proc: subprocess.Popen, timeout: float = 60.0) -> tuple[str, int]:
+    """Read stdout until the bound-port line appears."""
+    deadline = time.monotonic() + timeout
+    lines = []
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = LISTEN_RE.search(line)
+        if match:
+            return match.group(1), int(match.group(2))
+    proc.kill()
+    raise AssertionError(f"server never announced its port; output: {lines}")
+
+
+@pytest.mark.slow
+class TestHttpServeProcess:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        metrics_path = tmp_path / "metrics.jsonl"
+        proc = spawn(
+            "serve", "--http", "--port", "0", "--n", "2000", "--shards", "2",
+            "--metrics-out", str(metrics_path), "--metrics-every-s", "0.2",
+            "--store", str(tmp_path / "runtime.db"),
+        )
+        try:
+            host, port = wait_for_port(proc)
+            with HttpIndexClient(host, port) as client:
+                health = client.health()
+                assert health["admission"]["closing"] is False
+                client.insert([10**15, 10**15 + 1])
+                assert all(client.lookup([10**15, 10**15 + 1])["found"])
+            time.sleep(0.5)  # let the snapshot loop write a few lines
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0, out
+        assert "drained and stopped" in out
+        # The stream a live server wrote passes the CI validator.
+        assert metrics_path.exists()
+        assert main(["metrics", "--in", str(metrics_path), "--validate"]) == 0
+
+    def test_store_replay_across_process_restart(self, tmp_path):
+        store = tmp_path / "runtime.db"
+        args = (
+            "serve", "--http", "--port", "0", "--n", "2000", "--shards", "2",
+            "--seed", "7", "--store", str(store),
+        )
+        proc = spawn(*args)
+        try:
+            host, port = wait_for_port(proc)
+            with HttpIndexClient(host, port) as client:
+                client.insert([10**15 + i for i in range(5)])
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+
+        proc = spawn(*args)  # same dataset/seed, fresh process
+        try:
+            host, port = wait_for_port(proc)
+            with HttpIndexClient(host, port) as client:
+                resp = client.lookup([10**15 + i for i in range(5)])
+                stats = client.stats()
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0, out
+        assert all(resp["found"])
+        assert stats["store"]["op_log_entries"] >= 1
+
+
+@pytest.mark.slow
+class TestSimulationSignals:
+    def test_sigterm_interrupts_simulation_cleanly(self):
+        proc = spawn(
+            "serve", "--n", "4000", "--shards", "2", "--ops", "2000000",
+            "--batch", "512",
+        )
+        try:
+            time.sleep(3.0)  # well inside the workload loop
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 130, out
+        assert "interrupted — draining merges and closing shards" in out

@@ -1,0 +1,195 @@
+"""HTTP responses must be bit-identical to in-process twin calls.
+
+Plus the protocol edges: malformed bodies → 400, unknown routes →
+404, wrong methods → 405, and the observability endpoints
+(``/v1/health``, ``/v1/stats``, ``/metrics``) carrying the shapes the
+CLI and CI contract on.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+from repro.server import HttpStatusError
+from repro.server.app import (
+    BadRequestError,
+    parse_insert_request,
+    parse_lookup_request,
+    parse_range_request,
+)
+
+
+class TestLookupParity:
+    @pytest.mark.parametrize("size", [1, 64, 512])
+    def test_bit_identical_including_misses(self, twin_pair, rng, size):
+        client, twin, keys = twin_pair
+        q = np.concatenate(
+            [rng.choice(keys, size), rng.integers(0, 10**9, max(1, size // 4))]
+        )
+        resp = client.lookup(q.tolist())
+        ref = twin.lookup_many(q)
+        assert resp["n"] == q.size
+        assert resp["found"] == ref.found.tolist()
+        assert resp["values"] == ref.values.tolist()
+        assert resp["levels"] == ref.levels.tolist()
+        assert resp["search_steps"] == ref.search_steps.tolist()
+
+    def test_repeat_batches_track_twin_cache_state(self, twin_pair, rng):
+        # Cost telemetry changes across calls (cache warms up); both
+        # sides must change in lockstep.
+        client, twin, keys = twin_pair
+        q = rng.choice(keys, 256)
+        for _ in range(3):
+            resp = client.lookup(q.tolist())
+            ref = twin.lookup_many(q)
+            assert resp["levels"] == ref.levels.tolist()
+            assert resp["search_steps"] == ref.search_steps.tolist()
+
+
+class TestWriteAndRangeParity:
+    def test_insert_visible_and_bit_identical(self, twin_pair, rng):
+        client, twin, keys = twin_pair
+        fresh = np.unique(int(keys[-1]) + 1 + rng.integers(0, 2**32, 200))
+        assert client.insert(fresh.tolist()) == {"accepted": int(fresh.size)}
+        twin.insert_many(fresh)
+        q = np.concatenate([fresh, rng.choice(keys, 100)])
+        resp = client.lookup(q.tolist())
+        ref = twin.lookup_many(q)
+        assert resp["found"] == ref.found.tolist()
+        assert resp["values"] == ref.values.tolist()
+        assert all(resp["found"][: fresh.size])
+
+    def test_insert_with_explicit_values(self, twin_pair, rng):
+        client, twin, keys = twin_pair
+        fresh = np.unique(int(keys[-1]) + 1 + rng.integers(0, 2**32, 64))
+        vals = fresh * 3
+        client.insert(fresh.tolist(), vals.tolist())
+        twin.insert_many(fresh, vals)
+        resp = client.lookup(fresh.tolist())
+        ref = twin.lookup_many(fresh)
+        assert resp["values"] == ref.values.tolist() == vals.tolist()
+
+    def test_range_parity(self, twin_pair):
+        client, twin, keys = twin_pair
+        low, high = int(keys[50]), int(keys[400])
+        resp = client.range(low, high)
+        expected = [[int(k), int(v)] for k, v in twin.range_query(low, high)]
+        assert resp["pairs"] == expected
+        assert resp["n"] == len(expected)
+
+
+class TestObservabilityEndpoints:
+    def test_health_carries_service_and_admission_state(self, twin_pair):
+        client, _twin, _keys = twin_pair
+        report = client.health()
+        assert report["admission"]["max_inflight"] >= 1
+        assert report["admission"]["closing"] is False
+        assert "shards" in report
+
+    def test_stats_counts_requests(self, twin_pair, rng):
+        client, _twin, keys = twin_pair
+        client.lookup(rng.choice(keys, 32).tolist())
+        stats = client.stats()
+        assert stats["http"]["http_requests_total.lookup"] >= 1
+        assert stats["http"]["http_keys_looked_up_total"] >= 32
+        assert stats["service"]["n_lookups"] >= 32
+        assert stats["n_shards"] >= 1
+        assert stats["store"] is None
+
+    def test_metrics_prometheus_exposition(self, twin_pair, rng):
+        client, _twin, keys = twin_pair
+        client.lookup(rng.choice(keys, 16).tolist())
+        status, headers, payload = client.request("GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"] == PROMETHEUS_CONTENT_TYPE
+        text = payload.decode("utf-8")
+        assert "# TYPE http_admitted_total counter" in text
+        assert "http_requests_total" in text
+        assert "http_batch_seconds_bucket" in text
+
+
+class TestProtocolErrors:
+    def test_unknown_route_404(self, twin_pair):
+        client, _twin, _keys = twin_pair
+        status, _headers, payload = client.request("GET", "/v1/nope")
+        assert status == 404
+        assert "error" in json.loads(payload)
+
+    def test_wrong_method_405(self, twin_pair):
+        client, _twin, _keys = twin_pair
+        status, _h, _p = client.request("GET", "/v1/lookup")
+        assert status == 405
+        status, _h, _p = client.request("POST", "/v1/health", {"x": 1})
+        assert status == 405
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},
+            {"keys": []},
+            {"keys": "abc"},
+            {"keys": [1, "two"]},
+            {"keys": [1, True]},
+            {"keys": [2**63]},
+        ],
+    )
+    def test_bad_lookup_bodies_400(self, twin_pair, body):
+        client, _twin, _keys = twin_pair
+        with pytest.raises(HttpStatusError) as exc:
+            client._json("POST", "/v1/lookup", body)
+        assert exc.value.status == 400
+
+    def test_bad_range_bodies_400(self, twin_pair):
+        client, _twin, _keys = twin_pair
+        for body in ({"low": 5, "high": 1}, {"low": "a", "high": 2}, {"low": 1}):
+            with pytest.raises(HttpStatusError) as exc:
+                client._json("POST", "/v1/range", body)
+            assert exc.value.status == 400
+
+    def test_values_length_mismatch_400(self, twin_pair):
+        client, _twin, _keys = twin_pair
+        with pytest.raises(HttpStatusError) as exc:
+            client._json("POST", "/v1/insert", {"keys": [1, 2], "values": [9]})
+        assert exc.value.status == 400
+
+    def test_malformed_json_400(self, twin_pair):
+        client, _twin, _keys = twin_pair
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            conn.request(
+                "POST",
+                "/v1/lookup",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_server_survives_error_barrage(self, twin_pair, rng):
+        client, twin, keys = twin_pair
+        for _ in range(3):
+            client.request("GET", "/v1/nope")
+            client.request("POST", "/v1/lookup", {"keys": []})
+        q = rng.choice(keys, 16)
+        assert client.lookup(q.tolist())["found"] == twin.lookup_many(q).found.tolist()
+
+
+class TestRequestParsers:
+    def test_lookup_rejects_non_object(self):
+        with pytest.raises(BadRequestError):
+            parse_lookup_request([1, 2, 3])
+
+    def test_insert_defaults_values_to_none(self):
+        keys, values = parse_insert_request({"keys": [3, 1]})
+        assert keys.dtype == np.int64 and values is None
+
+    def test_range_bounds_validated(self):
+        assert parse_range_request({"low": -5, "high": 5}) == (-5, 5)
+        with pytest.raises(BadRequestError):
+            parse_range_request({"low": 0, "high": True})

@@ -1,0 +1,160 @@
+"""Runtime store: WAL persistence, op-log replay, restart recovery.
+
+The store's contract is crash-shaped: ``record_op`` logs *before* the
+batch is applied, counters upsert atomically, and :meth:`replay` on a
+reopened file reconstructs every accepted write and counter — which
+the end-to-end test exercises through a full HTTP restart cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, scoped_registry
+from repro.server import HttpIndexClient, RuntimeStore, ServerThread
+from repro.serving import IndexService
+
+from .conftest import FAMILY, N_SHARDS
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with RuntimeStore(tmp_path / "runtime.db") as s:
+        yield s
+
+
+class TestStoreUnit:
+    def test_wal_mode_and_version(self, store):
+        assert store.journal_mode() == "wal"
+        assert store.meta_get("version") == "1"
+
+    def test_meta_upsert(self, store):
+        store.meta_set("k", "a")
+        store.meta_set("k", "b")
+        assert store.meta_get("k") == "b"
+        assert store.meta_get("absent") is None
+
+    def test_op_log_roundtrip_preserves_order_and_bits(self, store, rng):
+        batches = [rng.integers(-(2**62), 2**62, n) for n in (1, 17, 300)]
+        for i, keys in enumerate(batches):
+            vals = None if i == 0 else keys * 2
+            store.record_op("insert", keys, vals)
+        ops = store.iter_ops()
+        assert [op.seq for op in ops] == sorted(op.seq for op in ops)
+        assert len(ops) == store.op_count() == 3
+        for i, (op, keys) in enumerate(zip(ops, batches)):
+            assert op.op == "insert"
+            assert np.array_equal(op.keys, keys)
+            if i == 0:
+                assert op.values is None
+            else:
+                assert np.array_equal(op.values, keys * 2)
+
+    def test_prune_keeps_newest(self, store, rng):
+        for _ in range(5):
+            store.record_op("insert", rng.integers(0, 100, 4))
+        last_two = [op.seq for op in store.iter_ops()][-2:]
+        assert store.prune_op_log(keep_last=2) == 3
+        assert [op.seq for op in store.iter_ops()] == last_two
+
+    def test_counters_upsert_roundtrip(self, store):
+        store.save_counters({"a": 1, "b": 2})
+        store.save_counters({"b": 20, "c": 3})
+        assert store.load_counters() == {"a": 1, "b": 20, "c": 3}
+
+    def test_cache_blocks_roundtrip(self, store, rng):
+        blocks = [
+            (0, 7, rng.integers(0, 100, 8), rng.integers(0, 100, 8)),
+            (2, 1, rng.integers(0, 100, 3), rng.integers(0, 100, 3)),
+        ]
+        store.save_cache_blocks(blocks)
+        loaded = store.load_cache_blocks()
+        assert [(s, b) for s, b, _, _ in loaded] == [(0, 7), (2, 1)]
+        for (_, _, keys, vals), (_, _, k2, v2) in zip(blocks, loaded):
+            assert np.array_equal(keys, k2) and np.array_equal(vals, v2)
+
+    def test_replay_bundles_everything(self, store, rng):
+        keys = rng.integers(0, 1000, 10)
+        store.record_op("insert", keys)
+        store.save_counters({"x": 5})
+        store.save_cache_blocks([(1, 2, keys, keys * 2)])
+        state = store.replay()
+        assert state.counters == {"x": 5}
+        assert len(state.ops) == 1 and np.array_equal(state.ops[0].keys, keys)
+        assert len(state.cache_blocks) == 1
+
+    def test_survives_reopen(self, tmp_path, rng):
+        path = tmp_path / "r.db"
+        keys = rng.integers(0, 1000, 6)
+        with RuntimeStore(path) as first:
+            first.record_op("insert", keys)
+            first.save_counters({"n": 42})
+        with RuntimeStore(path) as second:
+            assert second.journal_mode() == "wal"
+            state = second.replay()
+            assert state.counters == {"n": 42}
+            assert np.array_equal(state.ops[0].keys, keys)
+
+
+class TestRestartRecovery:
+    def test_http_inserts_survive_a_restart(self, tmp_path, rng):
+        """Accepted writes and counters come back after the process dies."""
+        base = np.unique(rng.integers(0, 10**8, 1_500))
+        fresh = np.unique(int(base[-1]) + 1 + rng.integers(0, 2**30, 100))
+        store_path = tmp_path / "runtime.db"
+
+        registry = MetricsRegistry(enabled=True)
+        with scoped_registry(registry):
+            service = IndexService.build(base, family=FAMILY, n_shards=N_SHARDS)
+            with RuntimeStore(store_path) as store:
+                with ServerThread(service, registry=registry, store=store) as srv:
+                    with HttpIndexClient(srv.host, srv.port) as client:
+                        client.insert(fresh.tolist())
+                        client.lookup(fresh[:10].tolist())
+                        first_stats = client.stats()
+            service.close()
+        assert first_stats["store"]["journal_mode"] == "wal"
+        assert first_stats["store"]["op_log_entries"] == 1
+
+        # "Restart": a brand-new process state — fresh registry, fresh
+        # service built from only the BASE keys — pointed at the store.
+        registry2 = MetricsRegistry(enabled=True)
+        with scoped_registry(registry2):
+            service2 = IndexService.build(base, family=FAMILY, n_shards=N_SHARDS)
+            with RuntimeStore(store_path) as store:
+                with ServerThread(service2, registry=registry2, store=store) as srv:
+                    with HttpIndexClient(srv.host, srv.port) as client:
+                        resp = client.lookup(fresh.tolist())
+                        stats = client.stats()
+            service2.close()
+        assert all(resp["found"])  # replay restored every accepted write
+        assert resp["values"] == [int(v) for v in fresh]  # default value = key
+        http = stats["http"]
+        assert http["http_requests_total.insert"] == 1
+        assert http["http_keys_inserted_total"] == fresh.size
+        assert registry2.counter("http_replayed_ops_total").value == 1
+
+    def test_no_replay_flag_skips_restoration(self, tmp_path, rng):
+        base = np.unique(rng.integers(0, 10**8, 1_000))
+        fresh = int(base[-1]) + np.arange(1, 21)
+        store_path = tmp_path / "runtime.db"
+        registry = MetricsRegistry(enabled=True)
+        with scoped_registry(registry):
+            service = IndexService.build(base, family=FAMILY, n_shards=N_SHARDS)
+            with RuntimeStore(store_path) as store:
+                with ServerThread(service, registry=registry, store=store) as srv:
+                    with HttpIndexClient(srv.host, srv.port) as client:
+                        client.insert(fresh.tolist())
+            service.close()
+        registry2 = MetricsRegistry(enabled=True)
+        with scoped_registry(registry2):
+            service2 = IndexService.build(base, family=FAMILY, n_shards=N_SHARDS)
+            with RuntimeStore(store_path) as store:
+                with ServerThread(
+                    service2, registry=registry2, store=store, replay=False
+                ) as srv:
+                    with HttpIndexClient(srv.host, srv.port) as client:
+                        resp = client.lookup(fresh.tolist())
+            service2.close()
+        assert not any(resp["found"])
