@@ -1,7 +1,8 @@
 # HTTP front door image: `docker run -p 8000:8000 <image>` serves the
-# batch JSON endpoints (see README "Serving over HTTP") on port 8000
-# with the runtime store on the /data volume, so accepted writes
-# survive a container restart.
+# batch JSON endpoints (see docs/OPERATIONS.md) on port 8000 with both
+# persistence layers on the /data volume — the durable index snapshot
+# under /data/index and the SQLite runtime store at /data/runtime.db —
+# so the index and accepted writes survive a container restart.
 FROM python:3.12-slim
 
 # numpy is the project's only runtime dependency (pyproject.toml).
@@ -21,4 +22,5 @@ EXPOSE 8000
 ENTRYPOINT ["python", "-m", "repro"]
 CMD ["serve", "--http", "--host", "0.0.0.0", "--port", "8000", \
      "--store", "/data/runtime.db", \
+     "--data-dir", "/data/index", \
      "--metrics-out", "/data/metrics.jsonl"]

@@ -1,0 +1,224 @@
+"""Durability benchmark: buffered+compacted ingest vs a naive insert loop.
+
+Measures sustained-write throughput into a *durable* index two ways,
+both ending with every write committed to disk:
+
+* **naive** — one key at a time into the index (``insert`` loop), each
+  batch persisted immediately as its own run file.  No buffering, no
+  compaction: runs pile up and every key pays the per-key insert path.
+* **buffered** — the real durability stack: ``IndexService`` with a
+  :class:`~repro.store.DurableStore` attached, writes buffered in the
+  memtable, flushed to sorted runs at the flush threshold, folded into
+  the index through ``bulk_insert_many`` by the background merge, and
+  tiered-compacted as runs accumulate.  The timed region ends with
+  ``snapshot()`` so the clock includes making everything durable and
+  fully compacted.
+
+Both paths must agree: the benchmark reopens the buffered store with
+``IndexService.open_snapshot`` and asserts bit-parity between the
+recovered index, the live service, and the naive twin over the full
+key range before any number is reported.
+
+Results merge into ``BENCH_perf.json`` under the ``"durability"`` key
+(other sections are preserved).  CI floors
+``durability.buffered.keys_per_s`` via ``check_regression.py
+--floors-only`` — a conservative minimum, not a race.
+
+Run directly::
+
+    python benchmarks/bench_durability.py            # full (50k base, 40k writes)
+    python benchmarks/bench_durability.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.indexes import INDEX_FAMILIES  # noqa: E402
+from repro.serving import IndexService  # noqa: E402
+from repro.store import DurableStore, sorted_unique_run, write_run_file  # noqa: E402
+
+FAMILY = "lipp"
+N_SHARDS = 4
+
+
+def _fresh_batches(
+    rng: np.random.Generator, base_keys: np.ndarray, n_writes: int, batch: int
+) -> list[np.ndarray]:
+    """Write batches of keys disjoint from *base_keys* and each other."""
+    lo = int(base_keys.max()) + 1
+    fresh = lo + rng.choice(n_writes * 8, size=n_writes, replace=False)
+    return [fresh[i : i + batch] for i in range(0, n_writes, batch)]
+
+
+def run_naive(
+    data_dir: Path, base_keys: np.ndarray, batches: list[np.ndarray]
+) -> tuple[float, object]:
+    """Per-key insert loop + one run file per batch; returns (secs, index)."""
+    index = INDEX_FAMILIES[FAMILY].build(base_keys, base_keys * 2)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    t0 = time.perf_counter()
+    for i, keys in enumerate(batches):
+        for k in keys:
+            index.insert(int(k), int(k) * 2)
+        s_keys, s_vals = sorted_unique_run(keys, keys * 2)
+        write_run_file(data_dir, f"run-{i:06d}.npz", s_keys, s_vals)
+    return time.perf_counter() - t0, index
+
+
+def run_buffered(
+    data_dir: Path,
+    base_keys: np.ndarray,
+    batches: list[np.ndarray],
+    flush_threshold: int,
+    compaction: str,
+) -> tuple[float, IndexService]:
+    """The durable service path; returns (secs, service) — still open."""
+    service = IndexService.build(
+        base_keys,
+        values=base_keys * 2,
+        family=FAMILY,
+        n_shards=N_SHARDS,
+        store=DurableStore(data_dir),
+        flush_threshold=flush_threshold,
+        compaction=compaction,
+        staleness_threshold=0.05,
+    )
+    t0 = time.perf_counter()
+    for keys in batches:
+        service.insert_many(keys, keys * 2)
+    service.snapshot()  # flush + full compaction inside the timed region
+    return time.perf_counter() - t0, service
+
+
+def assert_parity(
+    naive_index, service: IndexService, data_dir: Path,
+    base_keys: np.ndarray, batches: list[np.ndarray],
+) -> int:
+    """Recovered, live, and naive views must be bit-identical."""
+    all_keys = np.concatenate([base_keys] + list(batches))
+    order = np.argsort(all_keys, kind="stable")
+    want_keys = all_keys[order]
+    want_vals = want_keys * 2
+
+    lo, hi = int(want_keys[0]), int(want_keys[-1])
+    views = {"live": service.range_query(lo, hi)}
+    reopened = IndexService.open_snapshot(data_dir)
+    try:
+        views["recovered"] = reopened.range_query(lo, hi)
+    finally:
+        reopened.close()
+    views["naive"] = naive_index.range_query(lo, hi)
+
+    for name, pairs in views.items():
+        got = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if not (
+            got.shape[0] == want_keys.size
+            and np.array_equal(got[:, 0], want_keys)
+            and np.array_equal(got[:, 1], want_vals)
+        ):
+            raise AssertionError(
+                f"{name} view diverged: {got.shape[0]} keys vs "
+                f"{want_keys.size} expected"
+            )
+    return int(want_keys.size) * len(views)
+
+
+def run(quick: bool, out_path: Path, seed: int = 0) -> dict:
+    n_base = 8_000 if quick else 50_000
+    n_writes = 4_096 if quick else 40_960
+    batch = 256 if quick else 512
+    flush_threshold = 1_024 if quick else 4_096
+    rng = np.random.default_rng(seed)
+    base_keys = np.unique(rng.integers(0, n_base * 100, n_base))
+    batches = _fresh_batches(rng, base_keys, n_writes, batch)
+    n_written = int(sum(b.size for b in batches))
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_durability_"))
+    try:
+        naive_s, naive_index = run_naive(workdir / "naive", base_keys, batches)
+        buffered_s, service = run_buffered(
+            workdir / "buffered", base_keys, batches, flush_threshold, "tiered"
+        )
+        parity_keys = assert_parity(
+            naive_index, service, workdir / "buffered", base_keys, batches
+        )
+        stats = service.stats
+        generation = service.durable_generation()
+        service.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    section = {
+        "config": {
+            "quick": quick,
+            "family": FAMILY,
+            "n_shards": N_SHARDS,
+            "n_base": int(base_keys.size),
+            "n_writes": n_written,
+            "batch": batch,
+            "flush_threshold": flush_threshold,
+            "compaction": "tiered",
+            "cpu_count": os.cpu_count(),
+            "seed": seed,
+        },
+        "naive": {
+            "seconds": round(naive_s, 4),
+            "keys_per_s": round(n_written / naive_s, 1),
+        },
+        "buffered": {
+            "seconds": round(buffered_s, 4),
+            "keys_per_s": round(n_written / buffered_s, 1),
+            "flushes": stats.flushes,
+            "flushed_keys": stats.flushed_keys,
+            "compactions": stats.compactions,
+            "final_generation": generation,
+        },
+        "speedup": round(naive_s / buffered_s, 2),
+        "parity": {"checked_keys": parity_keys, "status": "ok"},
+    }
+    report = {}
+    if out_path.exists():
+        report = json.loads(out_path.read_text())
+    report["durability"] = section
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return section
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_perf.json",
+        help="JSON report to merge the durability section into",
+    )
+    args = parser.parse_args(argv)
+    section = run(args.quick, args.out, args.seed)
+    for mode in ("naive", "buffered"):
+        row = section[mode]
+        print(f"{mode:9s} {row['keys_per_s']:>12,.0f} keys/s  ({row['seconds']:.2f} s)")
+    print(
+        f"speedup   {section['speedup']:.2f}x  "
+        f"(flushes={section['buffered']['flushes']}, "
+        f"compactions={section['buffered']['compactions']}, "
+        f"gen={section['buffered']['final_generation']})"
+    )
+    print(f"parity: {section['parity']['checked_keys']} keys bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,7 @@ from .indexes import (
     adapter_for,
 )
 from .serving import IndexService, ShardRouter, plan_shards
+from .store import DurableStore, make_strategy
 
 __version__ = "1.0.0"
 
@@ -68,6 +69,7 @@ __all__ = [
     "CsvConfig",
     "CsvReport",
     "DATASETS",
+    "DurableStore",
     "GapInsertionLayout",
     "INDEX_FAMILIES",
     "IndexService",
@@ -91,6 +93,7 @@ __all__ = [
     "fit_linear",
     "generate",
     "load",
+    "make_strategy",
     "plan_shards",
     "poison_keys",
     "run_csv_experiment",

@@ -29,6 +29,7 @@ Examples::
     python -m repro csv --index alex --dataset facebook --alpha 0.1
     python -m repro serve --index lipp --shards 8 --dataset osm --ops 50000
     python -m repro serve --index lipp --shards 4 --executor process --replicas 2
+    python -m repro serve --index lipp --shards 4 --data-dir ./data --ops 20000
     python -m repro serve --index btree --shards 4 --compare
     python -m repro serve --metrics-out metrics.jsonl --ops 20000
     python -m repro serve --http --port 8000 --store runtime.db
@@ -145,6 +146,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-blocks", type=int, default=0, help="LRU cache size")
     p_serve.add_argument("--staleness", type=float, default=0.1,
                          help="write-buffer merge threshold (buffered/stored)")
+    p_serve.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durable store directory (runs + manifest); opened if it "
+             "already holds a snapshot, initialised from the dataset "
+             "otherwise — see docs/PERSISTENCE.md for the layout",
+    )
+    p_serve.add_argument(
+        "--flush-threshold", type=int, default=4096, metavar="N",
+        help="with --data-dir: freeze a shard's unflushed writes into "
+             "a durable run once N accumulate (0 = only flush on "
+             "merge/close); default 4096",
+    )
+    p_serve.add_argument(
+        "--compaction", default="tiered", metavar="STRATEGY",
+        help="with --data-dir: background compaction strategy — "
+             "'tiered' (size-tiered bin-pack, default), 'sortmerge' "
+             "(full fold into fresh bases), optionally with a run "
+             "bound like 'tiered:8' / 'sortmerge:4'",
+    )
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument(
         "--compare", action="store_true",
@@ -329,6 +349,61 @@ def _executor_spec(args: argparse.Namespace):
     )
 
 
+def _make_service(args: argparse.Namespace, keys: np.ndarray):
+    """Open-or-build the :class:`IndexService` a serve run drives.
+
+    With ``--data-dir`` pointing at an initialised store the service
+    recovers from the snapshot (the dataset flags only describe the
+    fallback build); otherwise it builds from the dataset and — when
+    a data dir was given — immediately snapshots into it.
+    """
+    from .serving import IndexService
+    from .store import DurableStore
+
+    store = DurableStore(args.data_dir) if args.data_dir else None
+    durability = dict(
+        store=store,
+        flush_threshold=args.flush_threshold,
+        compaction=args.compaction if store is not None else None,
+    )
+    if store is not None and store.is_initialized():
+        service = IndexService.open_snapshot(
+            store,
+            executor=_executor_spec(args),
+            max_workers=args.threads or None,
+            cache_blocks=args.cache_blocks,
+            staleness_threshold=args.staleness,
+            flush_threshold=args.flush_threshold,
+            compaction=args.compaction,
+        )
+        _say(
+            f"data dir: opened generation {service.durable_generation()} from "
+            f"{store.data_dir} ({service.n_keys} keys, "
+            f"{store.runs_outstanding()} outstanding run(s)); "
+            f"--dataset/--n/--index ignored"
+        )
+        return service
+    service = IndexService.build(
+        keys,
+        family=args.index,
+        n_shards=args.shards,
+        mode=args.mode,
+        alpha=_parse_alpha(args.alpha),
+        executor=_executor_spec(args),
+        max_workers=args.threads or None,
+        cache_blocks=args.cache_blocks,
+        staleness_threshold=args.staleness,
+        **durability,
+    )
+    if store is not None:
+        _say(
+            f"data dir: initialised {store.data_dir} at generation "
+            f"{service.durable_generation()} (compaction {args.compaction}, "
+            f"flush threshold {args.flush_threshold})"
+        )
+    return service
+
+
 @contextlib.contextmanager
 def _close_on_signals():
     """Convert SIGTERM into an orderly :class:`SystemExit`.
@@ -355,27 +430,16 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     """The ``serve --http`` branch: the network front door."""
     from .obs.metrics import MetricsRegistry, scoped_registry
     from .server import RuntimeStore, run_http_server
-    from .serving import IndexService
 
     keys = load(args.dataset, args.n)
     # The HTTP server is long-lived: instrumentation is always on so
     # GET /metrics and --metrics-out have something to export.
     registry = MetricsRegistry(enabled=True)
     store = RuntimeStore(args.store) if args.store else None
-    with scoped_registry(registry), IndexService.build(
-        keys,
-        family=args.index,
-        n_shards=args.shards,
-        mode=args.mode,
-        alpha=_parse_alpha(args.alpha),
-        executor=_executor_spec(args),
-        max_workers=args.threads or None,
-        cache_blocks=args.cache_blocks,
-        staleness_threshold=args.staleness,
-    ) as service:
+    with scoped_registry(registry), _make_service(args, keys) as service:
         _say(
-            f"http front door: {args.index} x {service.n_shards} shards over "
-            f"{keys.size} {args.dataset} keys; admission "
+            f"http front door: {service.family} x {service.n_shards} shards over "
+            f"{service.n_keys} keys; admission "
             f"{args.max_pending} pending / {args.max_inflight} in flight"
         )
         if store is not None:
@@ -401,7 +465,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .evaluation.runner import run_sharded_experiment
     from .obs.export import write_jsonl
     from .obs.metrics import MetricsRegistry, scoped_registry
-    from .serving import IndexService
     from .workloads import run_service_workload
 
     if args.executor and args.threads:
@@ -454,16 +517,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.metrics_out:
             write_jsonl(args.metrics_out, registry)
 
-    with scoped_registry(registry), IndexService.build(
-        keys,
-        family=args.index,
-        n_shards=args.shards,
-        mode=args.mode,
-        alpha=_parse_alpha(args.alpha),
-        executor=executor,
-        max_workers=args.threads or None,
-        cache_blocks=args.cache_blocks,
-        staleness_threshold=args.staleness,
+    with scoped_registry(registry), _make_service(
+        args, keys
     ) as service, _close_on_signals():
         snap()
         plan = service.plan
@@ -474,7 +529,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if spec.kind == "process" and spec.n_replicas > 1:
             exec_desc += f" (replicas={spec.n_replicas})"
         _say(
-            f"{args.index} x {plan.n_shards} shards ({plan.mode}) over "
+            f"{service.family} x {plan.n_shards} shards ({plan.mode}) over "
             f"{keys.size} {args.dataset} keys; executor={exec_desc}, "
             f"cache={args.cache_blocks} blocks"
         )
@@ -528,6 +583,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"re-smoothed); cache: {stats.cache_hits} hits / "
             f"{stats.cache_misses} misses ({stats.cache_fills} fills)"
         )
+        if service.store is not None:
+            _say(
+                f"durability: generation {service.durable_generation()}, "
+                f"{service.store.runs_outstanding()} outstanding run(s), "
+                f"{stats.flushes} flush(es) ({stats.flushed_keys} keys), "
+                f"{stats.compactions} compaction(s)"
+            )
         _say("\nper-shard latency percentiles (simulated ns):")
         _say(service.latency_report().to_table())
         health = service.health_report()

@@ -1,7 +1,16 @@
 """Persistence helpers: key sets, smoothing results, experiment rows.
 
 Everything writes plain ``.npz`` / ``.json`` / ``.csv`` so the
-artefacts are inspectable without this library.
+artefacts are inspectable without this library (the formats are
+specified in ``docs/PERSISTENCE.md``).
+
+The durable *serving* state — immutable sorted run files plus the
+checksummed, generation-numbered manifest that makes a data
+directory crash-recoverable — lives in :mod:`repro.store` and shares
+this module's conventions (run files use the exact ``keys``/
+``values`` npz layout :func:`save_keys` writes).  The store's entry
+points are re-exported here so ``repro.io`` stays the one-stop
+persistence namespace.
 """
 
 from __future__ import annotations
@@ -18,12 +27,27 @@ from .core.exceptions import InvalidKeysError
 from .core.segment_stats import validate_keys
 from .core.smoothing import SmoothingResult
 
+from .store import (  # noqa: F401  (re-exported persistence surface)
+    DurableStore,
+    Manifest,
+    RunMeta,
+    load_manifest,
+    read_run_file,
+    write_run_file,
+)
+
 __all__ = [
     "save_keys",
     "load_keys",
     "save_smoothing_result",
     "load_smoothing_result",
     "export_rows_csv",
+    "DurableStore",
+    "Manifest",
+    "RunMeta",
+    "load_manifest",
+    "read_run_file",
+    "write_run_file",
 ]
 
 

@@ -92,6 +92,9 @@ SERVICE_STAT_FIELDS = (
     "merges",
     "merged_keys",
     "resmoothed_shards",
+    "flushes",
+    "flushed_keys",
+    "compactions",
 )
 
 
@@ -247,6 +250,7 @@ class HttpFrontDoor:
         self._c_keys_looked_up = reg.counter("http_keys_looked_up_total")
         self._c_keys_inserted = reg.counter("http_keys_inserted_total")
         self._c_replayed_ops = reg.counter("http_replayed_ops_total")
+        self._c_oplog_pruned = reg.counter("http_oplog_pruned_total")
         self._h_request_s = reg.histogram("http_request_seconds")
         self._routes: dict[tuple[str, str], Callable[[Any], Awaitable]] = {
             ("POST", "/v1/lookup"): self._h_lookup,
@@ -383,12 +387,51 @@ class HttpFrontDoor:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self.admission.shutdown_pool()
-        # 4. Persist what the next process will replay.
+        # 4. Persist what the next process will replay.  The durable
+        #    sync runs first: buffered writes freeze into runs and the
+        #    covered op-log rows disappear, so a clean restart replays
+        #    (close to) nothing.
+        self.durable_sync()
         if self.store is not None:
             self.store.save_counters(self._persistable_counters())
             self.store.save_cache_blocks(self.service.export_cache_blocks())
             self.store.close()
         self._snapshot()
+
+    # ------------------------------------------------------------------
+    # Durability sync (op-log pruning)
+    # ------------------------------------------------------------------
+    def durable_sync(self) -> int:
+        """Flush buffered writes durably, then prune the SQLite op log.
+
+        Requires both persistence layers: the service's
+        :class:`~repro.store.DurableStore` (runs + manifest) and the
+        HTTP :class:`RuntimeStore` (op log).  Under the exclusive
+        lock every logged op is also applied (see ``_h_insert``), so
+        after ``flush_durable()`` commits a generation, every op with
+        ``seq <= last_seq()`` is captured in the run store and its
+        log row is pure replay debt — deleted here.  Without the
+        prune the op log grows forever and restart replays the full
+        write history; with it, replay covers only the ops that
+        arrived since the last sync.  Returns rows pruned.
+        """
+        if self.store is None or getattr(self.service, "store", None) is None:
+            return 0
+        with self._rwlock.write():
+            durable_seq = self.store.last_seq()
+            self.service.flush_durable()
+        pruned = self.store.prune_op_log_upto(durable_seq)
+        self.store.meta_set(
+            "durable_generation", str(self.service.durable_generation())
+        )
+        self.store.meta_set("durable_seq", str(durable_seq))
+        if pruned:
+            self._c_oplog_pruned.inc(pruned)
+            _log.info(
+                f"durable sync: generation {self.service.durable_generation()}, "
+                f"pruned {pruned} op-log row(s) up to seq {durable_seq}"
+            )
+        return pruned
 
     # ------------------------------------------------------------------
     # Metrics snapshots
@@ -401,6 +444,7 @@ class HttpFrontDoor:
         while True:
             await asyncio.sleep(self.metrics_every_s)
             self._snapshot()
+            self.durable_sync()
             if self.store is not None:
                 self.store.save_counters(self._persistable_counters())
 
@@ -568,12 +612,16 @@ class HttpFrontDoor:
         assert self.admission is not None
 
         def work() -> dict:
-            # Log-then-apply: a crash between the two replays the op.
-            if self.store is not None:
-                self.store.record_op("insert", keys, values)
             # Writers are exclusive: a staleness merge may rebuild
-            # shard structure in place under this batch.
+            # shard structure in place under this batch.  Log-then-
+            # apply happens *inside* the exclusive section, so at any
+            # instant every logged op is also applied — which is what
+            # lets durable_sync() prune the log up to last_seq()
+            # after a flush without racing a half-applied batch.
             with self._rwlock.write():
+                # Log-then-apply: a crash between the two replays the op.
+                if self.store is not None:
+                    self.store.record_op("insert", keys, values)
                 self.service.insert_many(keys, values)
             if self.store is not None:
                 self.store.save_counters(self._persistable_counters())
@@ -634,6 +682,13 @@ class HttpFrontDoor:
                 "path": str(self.store.path),
                 "journal_mode": self.store.journal_mode(),
                 "op_log_entries": self.store.op_count(),
+            },
+            "durability": None
+            if getattr(self.service, "store", None) is None
+            else {
+                "data_dir": str(self.service.store.data_dir),
+                "generation": int(self.service.durable_generation()),
+                "runs_outstanding": int(self.service.store.runs_outstanding()),
             },
         }
         return 200, out, JSON_CONTENT_TYPE

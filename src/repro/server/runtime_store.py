@@ -206,6 +206,33 @@ class RuntimeStore:
             self._conn.commit()
             return int(cur.rowcount)
 
+    def last_seq(self) -> int:
+        """Highest sequence number ever logged (0 when none).
+
+        Reads the AUTOINCREMENT high-water mark, not ``MAX(seq)``, so
+        the answer is stable across pruning: ops at or below it are
+        exactly those that have existed, pruned or not.
+        """
+        row = self._conn.execute(
+            "SELECT seq FROM sqlite_sequence WHERE name = 'op_log'"
+        ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def prune_op_log_upto(self, seq: int) -> int:
+        """Drop every op with sequence ≤ *seq*; returns rows removed.
+
+        The durability pruning hook: once the serving layer reports
+        that everything through *seq* is captured in a committed
+        store generation, those ops no longer need replaying and the
+        log stops growing without bound.
+        """
+        with self._lock:
+            cur = self._conn.execute(
+                "DELETE FROM op_log WHERE seq <= ?", (int(seq),)
+            )
+            self._conn.commit()
+            return int(cur.rowcount)
+
     # ------------------------------------------------------------------
     # Counters
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..core.cost_model import CostConstants
 from ..core.csv_algorithm import CsvConfig, apply_csv
+from ..core.exceptions import IndexStateError
 from ..indexes import INDEX_FAMILIES, adapter_for
 from ..indexes.base import (
     BatchQueryStats,
@@ -60,6 +61,7 @@ from .partitioner import (
     plan_shards,
     predicted_shard_cost,
 )
+from ..store import CompactionStrategy, DurableStore, make_strategy
 from .router import ShardRouter, dedupe_last_wins
 
 __all__ = ["IndexService", "LatencyReport", "ServiceStats", "ShardLatency"]
@@ -139,6 +141,9 @@ class ServiceStats:
     merges: int = 0
     merged_keys: int = 0
     resmoothed_shards: int = 0
+    flushes: int = 0
+    flushed_keys: int = 0
+    compactions: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -258,6 +263,9 @@ class IndexService:
         staleness_threshold: float = 0.1,
         background_merge: bool = False,
         metrics: MetricsRegistry | None = None,
+        store: DurableStore | None = None,
+        flush_threshold: int = 0,
+        compaction: CompactionStrategy | str | None = None,
     ):
         self.router = router
         self.family = family
@@ -323,6 +331,20 @@ class IndexService:
         self._merge_futures: list[Future] = []
         self._closed = False
         self._clean_close = True
+        #: Durability (see ``repro.store``).  ``_dirty`` shadows the
+        #: write buffers with the entries not yet frozen into a run on
+        #: disk: flushes drain it, merges flush it first (a merge
+        #: folds the buffer into a rebuilt in-memory structure, which
+        #: is exactly the state a crash would lose).
+        self._store: DurableStore | None = None
+        self._flush_threshold = 0
+        self._compaction: CompactionStrategy | None = None
+        self._dirty: list[dict[int, int]] = [{} for _ in range(router.n_shards)]
+        self._dirty_lock = threading.Lock()
+        if store is not None:
+            self.attach_store(
+                store, flush_threshold=flush_threshold, compaction=compaction
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -344,6 +366,9 @@ class IndexService:
         staleness_threshold: float = 0.1,
         background_merge: bool = False,
         metrics: MetricsRegistry | None = None,
+        store: DurableStore | None = None,
+        flush_threshold: int = 0,
+        compaction: CompactionStrategy | str | None = None,
     ) -> "IndexService":
         """Partition → smooth → build → route, in one call.
 
@@ -375,6 +400,108 @@ class IndexService:
             staleness_threshold=staleness_threshold,
             background_merge=background_merge,
             metrics=metrics,
+            store=store,
+            flush_threshold=flush_threshold,
+            compaction=compaction,
+        )
+
+    @classmethod
+    def open_snapshot(
+        cls,
+        store: DurableStore | str,
+        constants: CostConstants | None = None,
+        executor: ExecutorSpec | str | None = None,
+        max_workers: int | None = None,
+        cache_blocks: int = 0,
+        block_bits: int = 14,
+        staleness_threshold: float = 0.1,
+        background_merge: bool = False,
+        metrics: MetricsRegistry | None = None,
+        flush_threshold: int = 0,
+        compaction: CompactionStrategy | str | None = None,
+    ) -> "IndexService":
+        """Recover a service from a durable data directory.
+
+        The inverse of :meth:`snapshot`: the manifest supplies the
+        family, shard boundaries, per-shard smoothing α and
+        partitioning mode; every shard rebuilds from its base
+        snapshot through the family's ``build`` and replays
+        outstanding runs through ``bulk_insert_many`` — the same
+        vectorised ingest path live merges use — then CSV-smoothable
+        shards are re-smoothed with their recorded α.  The store
+        stays attached, so subsequent writes keep flushing into the
+        same directory.
+        """
+        if not isinstance(store, DurableStore):
+            store = DurableStore(store, metrics=metrics)
+        manifest = store.manifest
+        if manifest is None:
+            raise IndexStateError(
+                f"no snapshot to open at {store.data_dir} "
+                "(MANIFEST.json missing; build + snapshot() first)"
+            )
+        consts = constants or CostConstants()
+        family_cls = INDEX_FAMILIES[manifest.family]
+        bounds = np.iinfo(np.int64)
+        shards: list[LearnedIndex | None] = []
+        shard_keys: list[np.ndarray] = []
+        shard_values: list[np.ndarray] = []
+        for shard_no in range(manifest.n_shards):
+            shard = store.build_shard(shard_no, family_cls)
+            alpha = (
+                manifest.alphas[shard_no]
+                if shard_no < len(manifest.alphas)
+                else None
+            )
+            if (
+                shard is not None
+                and alpha is not None
+                and alpha > 0.0
+                and manifest.family in SMOOTHABLE_FAMILIES
+            ):
+                apply_csv(adapter_for(shard, consts), CsvConfig(alpha=alpha))
+            shards.append(shard)
+            pairs = (
+                []
+                if shard is None
+                else shard.range_query(int(bounds.min), int(bounds.max))
+            )
+            shard_keys.append(
+                np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+            )
+            shard_values.append(
+                np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+            )
+        plan = ShardPlan(
+            boundaries=np.asarray(manifest.boundaries, dtype=np.int64),
+            shard_keys=tuple(shard_keys),
+            shard_values=tuple(shard_values),
+            alphas=manifest.alphas,
+            mode=manifest.mode,
+            predicted_costs=tuple(
+                predicted_shard_cost(k, consts) for k in shard_keys
+            ),
+        )
+        router = ShardRouter(
+            shards,
+            plan.boundaries,
+            max_workers=max_workers,
+            executor=executor,
+            build_factory=family_cls.build,
+        )
+        return cls(
+            router,
+            manifest.family,
+            plan,
+            constants=consts,
+            cache_blocks=cache_blocks,
+            block_bits=block_bits,
+            staleness_threshold=staleness_threshold,
+            background_merge=background_merge,
+            metrics=metrics,
+            store=store,
+            flush_threshold=flush_threshold,
+            compaction=compaction,
         )
 
     # ------------------------------------------------------------------
@@ -466,6 +593,168 @@ class IndexService:
     def worker_restarts(self) -> int:
         """Shard workers respawned after a crash or timeout."""
         return self.router.worker_restarts()
+
+    # ------------------------------------------------------------------
+    # Durability (repro.store)
+    # ------------------------------------------------------------------
+    def attach_store(
+        self,
+        store: DurableStore,
+        flush_threshold: int = 0,
+        compaction: CompactionStrategy | str | None = None,
+    ) -> None:
+        """Make *store* this service's durable backing.
+
+        An uninitialised store immediately receives a full
+        :meth:`snapshot` (generation 1 bases); an initialised one is
+        validated against the live topology and adopted as-is — the
+        :meth:`open_snapshot` path, where memory was just rebuilt
+        *from* it.  ``flush_threshold > 0`` freezes a shard's
+        unflushed writes into a run once that many accumulate (merges
+        flush regardless); *compaction* (a strategy or a CLI spec
+        like ``"tiered"`` / ``"sortmerge:4"``) runs after every
+        flush-on-merge.
+        """
+        if isinstance(compaction, str):
+            compaction = make_strategy(compaction)
+        manifest = store.manifest
+        if manifest is not None:
+            if manifest.family != self.family or manifest.n_shards != self.n_shards:
+                raise IndexStateError(
+                    f"store at {store.data_dir} holds {manifest.family}/"
+                    f"{manifest.n_shards} shards; this service is "
+                    f"{self.family}/{self.n_shards}"
+                )
+        self._store = store
+        self._flush_threshold = int(flush_threshold)
+        self._compaction = compaction
+        # Writes buffered before the attach predate any run on disk.
+        with self._dirty_lock:
+            for shard_no, buffer in enumerate(self._buffers):
+                if len(buffer):
+                    self._dirty[shard_no].update(buffer.snapshot())
+        if manifest is None:
+            self.snapshot()
+
+    def _require_store(self) -> DurableStore:
+        if self._store is None:
+            raise IndexStateError(
+                "no durable store attached (pass store= or call attach_store())"
+            )
+        return self._store
+
+    @property
+    def store(self) -> DurableStore | None:
+        """The attached durable store (None when serving memory-only)."""
+        return self._store
+
+    def durable_generation(self) -> int:
+        """The store's committed generation (0 without a store)."""
+        return 0 if self._store is None else self._store.generation
+
+    def _shard_arrays(self, shard_no: int) -> tuple[np.ndarray, np.ndarray]:
+        """One shard's full current contents: stored ∪ buffered, last wins."""
+        shard = self.router.shards[shard_no]
+        bounds = np.iinfo(np.int64)
+        pairs = (
+            []
+            if shard is None
+            else shard.range_query(int(bounds.min), int(bounds.max))
+        )
+        keys = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+        vals = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+        buffer = self._buffers[shard_no]
+        if len(buffer):
+            bkeys, bvals = buffer.arrays()
+            keys, vals = dedupe_last_wins(
+                np.concatenate([keys, bkeys]), np.concatenate([vals, bvals])
+            )
+        return keys, vals
+
+    def snapshot(self) -> int:
+        """Commit the full service state durably; returns the generation.
+
+        First snapshot (uninitialised store): every shard's current
+        contents — stored *and* buffered — become generation-1 base
+        files.  Later snapshots: unflushed writes freeze into runs,
+        then a full sort-merge compaction folds base + runs into
+        fresh bases, so the directory reopens with zero replay.
+        """
+        store = self._require_store()
+        if store.manifest is None:
+            arrays = [self._shard_arrays(i) for i in range(self.n_shards)]
+            store.initialize(
+                self.family,
+                [int(b) for b in self.plan.boundaries],
+                self.plan.alphas,
+                self.plan.mode,
+                arrays,
+            )
+            # The bases hold everything, including what was buffered.
+            with self._dirty_lock:
+                for dirty in self._dirty:
+                    dirty.clear()
+        else:
+            self.flush_durable()
+            self.stats.compactions += store.compact(make_strategy("sortmerge"))
+        return store.generation
+
+    def flush_durable(self) -> int:
+        """Freeze every shard's unflushed writes into runs; returns gen.
+
+        One call commits one manifest generation covering all shards
+        with anything unflushed (a no-op returns the current
+        generation).  Flushed entries stay in the write buffers — the
+        read overlay is untouched; only their *durability* changes.
+        """
+        store = self._require_store()
+        with self._dirty_lock:
+            snap = {
+                shard_no: dict(dirty)
+                for shard_no, dirty in enumerate(self._dirty)
+                if dirty
+            }
+        if not snap:
+            return store.generation
+        batches = {}
+        total = 0
+        for shard_no, entries in snap.items():
+            keys = np.fromiter(entries.keys(), dtype=np.int64, count=len(entries))
+            vals = np.fromiter(entries.values(), dtype=np.int64, count=len(entries))
+            batches[shard_no] = (keys, vals)
+            total += len(entries)
+        generation = store.append_runs(batches)
+        self.stats.flushes += 1
+        self.stats.flushed_keys += total
+        # Drop exactly what was flushed: a write landing mid-flush
+        # stays dirty for the next one (same shape as drop_merged).
+        with self._dirty_lock:
+            for shard_no, entries in snap.items():
+                dirty = self._dirty[shard_no]
+                for key, value in entries.items():
+                    if dirty.get(key) == value:
+                        del dirty[key]
+        return generation
+
+    def _flush_shard_durable(self, shard_no: int) -> None:
+        """Flush one shard's unflushed writes (threshold / merge path)."""
+        store = self._store
+        if store is None:
+            return
+        with self._dirty_lock:
+            entries = dict(self._dirty[shard_no])
+        if not entries:
+            return
+        keys = np.fromiter(entries.keys(), dtype=np.int64, count=len(entries))
+        vals = np.fromiter(entries.values(), dtype=np.int64, count=len(entries))
+        store.append_run(shard_no, keys, vals)
+        self.stats.flushes += 1
+        self.stats.flushed_keys += len(entries)
+        with self._dirty_lock:
+            dirty = self._dirty[shard_no]
+            for key, value in entries.items():
+                if dirty.get(key) == value:
+                    del dirty[key]
 
     # ------------------------------------------------------------------
     # Read path
@@ -669,6 +958,14 @@ class IndexService:
                 continue
             run = order[lo:hi]
             self._buffers[shard_no].put_run(arr[run], vals[run])
+            if self._store is not None:
+                with self._dirty_lock:
+                    self._dirty[shard_no].update(
+                        zip(arr[run].tolist(), vals[run].tolist())
+                    )
+                    dirty_n = len(self._dirty[shard_no])
+                if 0 < self._flush_threshold <= dirty_n:
+                    self._flush_shard_durable(shard_no)
             staleness = self._staleness(shard_no)
             if instrumented:
                 self._g_staleness[shard_no].set(staleness)
@@ -724,6 +1021,10 @@ class IndexService:
     ) -> None:
         instrumented = self.metrics.enabled
         merge_start = time.perf_counter() if instrumented else 0.0
+        # Flush-on-merge: the buffer is about to fold into a rebuilt
+        # in-memory structure — exactly the state a crash would lose —
+        # so its unflushed entries become a durable run first.
+        self._flush_shard_durable(shard_no)
         bkeys = np.asarray(sorted(merged_entries), dtype=np.int64)
         bvals = np.asarray([merged_entries[k] for k in bkeys.tolist()], dtype=np.int64)
         shard = self.router.shards[shard_no]
@@ -793,6 +1094,12 @@ class IndexService:
         # Drop exactly what was merged: writes that landed mid-merge
         # stay buffered for the next one.
         buffer.drop_merged(merged_entries)
+        # Staleness crossed the merge threshold, so the on-disk run
+        # stack just grew too — let the compactor fold it back down.
+        if self._store is not None and self._compaction is not None:
+            self.stats.compactions += self._store.compact(
+                self._compaction, shard=shard_no
+            )
         if expected_keys is not None and expected_keys.size:
             self._expected_ns[shard_no] = self.constants.base_ns + (
                 predicted_shard_cost(expected_keys, self.constants)
@@ -980,6 +1287,15 @@ class IndexService:
             clean = self.drain(timeout=timeout)
         except BaseException as exc:  # keep draining order; re-raise below
             error = exc
+        if self._store is not None:
+            # Whatever is still buffered becomes a durable run, so a
+            # clean shutdown never needs the HTTP op log to replay.
+            try:
+                self.flush_durable()
+            except BaseException as exc:
+                clean = False
+                if error is None:
+                    error = exc
         if self._merge_pool is not None:
             remaining = (
                 None if deadline is None

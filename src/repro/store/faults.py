@@ -1,0 +1,35 @@
+"""Crash-injection points for the durability tests.
+
+The recovery guarantees in this package are only worth anything if a
+process can die *between* any two steps of a flush or compaction and
+the store still reopens to a consistent state.  Sprinkling the
+write paths with named :func:`crashpoint` calls lets the test suite
+kill the process (``SIGKILL``, no cleanup handlers) at an exact step:
+a subprocess sets ``REPRO_STORE_CRASH=<point name>`` and runs a
+normal workload; the parent then reopens the half-written directory
+and asserts bit-parity with an uninterrupted twin.
+
+In production the environment variable is unset and every call is a
+dictionary miss — nothing to configure, nothing to pay.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+__all__ = ["CRASH_ENV", "crashpoint"]
+
+#: Environment variable naming the crash point to die at.
+CRASH_ENV = "REPRO_STORE_CRASH"
+
+
+def crashpoint(name: str) -> None:
+    """Die with SIGKILL iff ``REPRO_STORE_CRASH`` names *name*.
+
+    SIGKILL (not ``sys.exit``) so no ``atexit`` hook, ``finally``
+    block, or buffered write can tidy up behind the crash — the test
+    sees exactly what a power cut would leave on disk.
+    """
+    if os.environ.get(CRASH_ENV) == name:
+        os.kill(os.getpid(), signal.SIGKILL)

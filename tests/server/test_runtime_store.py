@@ -158,3 +158,104 @@ class TestRestartRecovery:
                         resp = client.lookup(fresh.tolist())
             service2.close()
         assert not any(resp["found"])
+
+
+class TestOpLogPruning:
+    def test_last_seq_is_stable_across_pruning(self, store, rng):
+        assert store.last_seq() == 0
+        for _ in range(4):
+            store.record_op("insert", rng.integers(0, 100, 3))
+        assert store.last_seq() == 4
+        assert store.prune_op_log_upto(2) == 2
+        # The high-water mark remembers pruned rows; new ops continue it.
+        assert store.last_seq() == 4
+        assert store.record_op("insert", rng.integers(0, 100, 3)) == 5
+
+    def test_prune_upto_leaves_newer_ops(self, store, rng):
+        batches = [rng.integers(0, 100, 3) for _ in range(5)]
+        for keys in batches:
+            store.record_op("insert", keys)
+        assert store.prune_op_log_upto(3) == 3
+        remaining = store.iter_ops()
+        assert [op.seq for op in remaining] == [4, 5]
+        for op, keys in zip(remaining, batches[3:]):
+            assert np.array_equal(op.keys, keys)
+        assert store.prune_op_log_upto(0) == 0  # no-op floor
+
+    def test_durable_sync_prunes_only_captured_ops(self, tmp_path, rng):
+        """Front-door durable_sync: flushed generation ⇒ op rows deleted."""
+        from repro.server.app import HttpFrontDoor
+        from repro.store import DurableStore
+
+        base = np.unique(rng.integers(0, 10**8, 1_200))
+        registry = MetricsRegistry(enabled=True)
+        with scoped_registry(registry):
+            service = IndexService.build(
+                base, family=FAMILY, n_shards=N_SHARDS,
+                store=DurableStore(tmp_path / "data"),
+                staleness_threshold=10.0,
+            )
+            with RuntimeStore(tmp_path / "runtime.db") as rt:
+                front = HttpFrontDoor(service, registry=registry, store=rt)
+                fresh = int(base[-1]) + np.arange(1, 40)
+                for chunk in np.array_split(fresh, 3):
+                    rt.record_op("insert", chunk, chunk * 2)
+                    service.insert_many(chunk, chunk * 2)
+                gen_before = service.durable_generation()
+                assert front.durable_sync() == 3
+                assert rt.op_count() == 0
+                assert service.durable_generation() > gen_before
+                assert rt.meta_get("durable_seq") == "3"
+                assert rt.meta_get("durable_generation") == str(
+                    service.durable_generation()
+                )
+                # A later op stays until the next sync captures it.
+                rt.record_op("insert", fresh[:1])
+                service.insert_many(fresh[:1])
+                assert rt.op_count() == 1
+                assert front.durable_sync() == 1
+                assert rt.op_count() == 0
+            service.close()
+        with IndexService.open_snapshot(tmp_path / "data") as reopened:
+            got = reopened.lookup_many(fresh)
+            assert bool(got.found.all())
+
+    def test_durable_sync_requires_both_layers(self, tmp_path, rng):
+        from repro.server.app import HttpFrontDoor
+
+        base = np.unique(rng.integers(0, 10**6, 500))
+        service = IndexService.build(base, family=FAMILY, n_shards=N_SHARDS)
+        try:
+            with RuntimeStore(tmp_path / "runtime.db") as rt:
+                rt.record_op("insert", base[:3])
+                front = HttpFrontDoor(service, store=rt)
+                assert front.durable_sync() == 0  # no DurableStore attached
+                assert rt.op_count() == 1
+        finally:
+            service.close()
+
+    def test_shutdown_syncs_through_server_thread(self, tmp_path, rng):
+        """The graceful-shutdown path prunes the log before closing."""
+        from repro.store import DurableStore
+
+        base = np.unique(rng.integers(0, 10**8, 1_200))
+        fresh = int(base[-1]) + np.arange(1, 30)
+        registry = MetricsRegistry(enabled=True)
+        with scoped_registry(registry):
+            service = IndexService.build(
+                base, family=FAMILY, n_shards=N_SHARDS,
+                store=DurableStore(tmp_path / "data"),
+                staleness_threshold=10.0,
+            )
+            with RuntimeStore(tmp_path / "runtime.db") as rt:
+                with ServerThread(service, registry=registry, store=rt) as srv:
+                    with HttpIndexClient(srv.host, srv.port) as client:
+                        client.insert(fresh.tolist())
+            service.close()
+        with RuntimeStore(tmp_path / "runtime.db") as rt:
+            assert rt.op_count() == 0  # shutdown's durable_sync pruned it
+            assert int(rt.meta_get("durable_seq")) >= 1
+        with IndexService.open_snapshot(tmp_path / "data") as reopened:
+            got = reopened.lookup_many(fresh)
+            assert bool(got.found.all())
+            assert np.array_equal(got.values, fresh)  # default value = key

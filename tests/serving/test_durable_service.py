@@ -1,0 +1,179 @@
+"""IndexService ↔ DurableStore: snapshot, reopen, flush, compaction.
+
+The serving-layer half of the durability contract: ``snapshot()``
+commits exactly what the service would answer, ``open_snapshot()``
+rebuilds a service that answers identically without the dataset, the
+flush threshold and the staleness merge both move writes to disk
+without being asked, and ``close()`` leaves nothing volatile behind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import IndexStateError
+from repro.serving import IndexService
+from repro.store import DurableStore, make_strategy
+
+FAMILY = "lipp"
+N_SHARDS = 3
+
+
+@pytest.fixture()
+def keyset(rng) -> np.ndarray:
+    return np.unique(rng.integers(0, 10**8, 2_000))
+
+
+def fresh_batches(rng, keyset, n_batches=6, size=300):
+    hi = int(keyset.max())
+    fresh = hi + 1 + rng.choice(10**7, size=n_batches * size, replace=False)
+    return [fresh[i * size : (i + 1) * size] for i in range(n_batches)]
+
+
+def full_pairs(service: IndexService) -> np.ndarray:
+    bounds = np.iinfo(np.int64)
+    pairs = service.range_query(int(bounds.min), int(bounds.max))
+    return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+
+
+class TestSnapshotRoundtrip:
+    def test_reopen_is_bit_identical(self, tmp_path, rng, keyset):
+        store = DurableStore(tmp_path / "data")
+        with IndexService.build(
+            keyset, family=FAMILY, n_shards=N_SHARDS, store=store
+        ) as service:
+            for batch in fresh_batches(rng, keyset):
+                service.insert_many(batch, batch * 2)
+            service.snapshot()
+            want = full_pairs(service)
+            queries = np.concatenate(
+                [rng.choice(keyset, 400), rng.integers(0, 10**8, 100)]
+            )
+            want_lookups = service.lookup_many(queries)
+
+        with IndexService.open_snapshot(tmp_path / "data") as reopened:
+            assert reopened.family == FAMILY
+            assert reopened.n_shards == N_SHARDS
+            got = full_pairs(reopened)
+            assert np.array_equal(got, want)
+            got_lookups = reopened.lookup_many(queries)
+            assert np.array_equal(got_lookups.found, want_lookups.found)
+            assert np.array_equal(got_lookups.values, want_lookups.values)
+
+    def test_build_with_store_snapshots_immediately(self, tmp_path, keyset):
+        with IndexService.build(
+            keyset, family=FAMILY, n_shards=N_SHARDS,
+            store=DurableStore(tmp_path / "data"),
+        ) as service:
+            assert service.durable_generation() == 1
+        with IndexService.open_snapshot(tmp_path / "data") as reopened:
+            assert reopened.n_keys == keyset.size
+
+    def test_snapshot_fully_compacts(self, tmp_path, rng, keyset):
+        store = DurableStore(tmp_path / "data")
+        with IndexService.build(
+            keyset, family=FAMILY, n_shards=N_SHARDS, store=store
+        ) as service:
+            for batch in fresh_batches(rng, keyset, n_batches=3):
+                service.insert_many(batch)
+                service.flush_durable()
+            assert store.runs_outstanding() > 0
+            service.snapshot()
+            assert store.runs_outstanding() == 0
+
+    def test_open_snapshot_requires_manifest(self, tmp_path):
+        with pytest.raises(IndexStateError, match="no snapshot to open"):
+            IndexService.open_snapshot(tmp_path / "nothing-here")
+
+    def test_attach_store_validates_topology(self, tmp_path, keyset):
+        with IndexService.build(
+            keyset, family=FAMILY, n_shards=N_SHARDS,
+            store=DurableStore(tmp_path / "data"),
+        ):
+            pass
+        with IndexService.build(
+            keyset, family=FAMILY, n_shards=N_SHARDS + 1
+        ) as other:
+            with pytest.raises(IndexStateError, match="shards"):
+                other.attach_store(DurableStore(tmp_path / "data"))
+
+
+class TestFlushPaths:
+    def test_threshold_flushes_without_being_asked(self, tmp_path, rng, keyset):
+        with IndexService.build(
+            keyset, family=FAMILY, n_shards=N_SHARDS,
+            store=DurableStore(tmp_path / "data"),
+            flush_threshold=200,
+            staleness_threshold=10.0,  # keep merges out of the picture
+        ) as service:
+            for batch in fresh_batches(rng, keyset, n_batches=4, size=250):
+                service.insert_many(batch, batch * 2)
+            assert service.stats.flushes > 0
+            assert service.durable_generation() > 1
+
+    def test_unflushed_writes_survive_close(self, tmp_path, rng, keyset):
+        batch = fresh_batches(rng, keyset, n_batches=1)[0]
+        with IndexService.build(
+            keyset, family=FAMILY, n_shards=N_SHARDS,
+            store=DurableStore(tmp_path / "data"),
+            staleness_threshold=10.0,
+        ) as service:
+            service.insert_many(batch, batch * 5)
+            # No threshold, no snapshot: only close() stands between
+            # these writes and the floor.
+        with IndexService.open_snapshot(tmp_path / "data") as reopened:
+            probe = batch[:50]
+            got = reopened.lookup_many(probe)
+            assert bool(got.found.all())
+            assert np.array_equal(got.values, probe * 5)
+
+    def test_staleness_merge_flushes_and_compacts(self, tmp_path, rng, keyset):
+        with IndexService.build(
+            keyset, family=FAMILY, n_shards=1,
+            store=DurableStore(tmp_path / "data"),
+            compaction=make_strategy("sortmerge"),
+            staleness_threshold=0.01,
+        ) as service:
+            for batch in fresh_batches(rng, keyset, n_batches=4, size=200):
+                service.insert_many(batch, batch * 2)
+            assert service.stats.merges > 0
+            assert service.stats.flushes > 0
+            # The post-merge trigger sort-merged every flushed run away.
+            assert service.stats.compactions > 0
+            assert service.store.runs_outstanding() == 0
+
+    def test_flush_durable_is_idempotent(self, tmp_path, rng, keyset):
+        batch = fresh_batches(rng, keyset, n_batches=1)[0]
+        with IndexService.build(
+            keyset, family=FAMILY, n_shards=N_SHARDS,
+            store=DurableStore(tmp_path / "data"),
+            staleness_threshold=10.0,
+        ) as service:
+            service.insert_many(batch)
+            g1 = service.flush_durable()
+            g2 = service.flush_durable()  # nothing new: same generation
+            assert g2 == g1
+            assert service.stats.flushes == 1
+
+
+class TestReopenThenWrite:
+    def test_reopened_service_keeps_absorbing(self, tmp_path, rng, keyset):
+        with IndexService.build(
+            keyset, family=FAMILY, n_shards=N_SHARDS,
+            store=DurableStore(tmp_path / "data"),
+            staleness_threshold=10.0,
+        ) as service:
+            first = fresh_batches(rng, keyset, n_batches=1)[0]
+            service.insert_many(first, first * 2)
+
+        with IndexService.open_snapshot(
+            tmp_path / "data", staleness_threshold=10.0, flush_threshold=100
+        ) as reopened:
+            second = np.asarray(first) + 1  # interleaves with first batch
+            reopened.insert_many(second, second * 3)
+            assert reopened.durable_generation() > 1
+
+        with IndexService.open_snapshot(tmp_path / "data") as final:
+            got = final.lookup_many(np.concatenate([first[:50], second[:50]]))
+            assert bool(got.found.all())

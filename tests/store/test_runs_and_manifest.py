@@ -1,0 +1,166 @@
+"""Run files and the manifest: the two primitives everything rests on.
+
+A run file must round-trip bit-exactly and refuse to load when its
+bytes drift from the manifest checksum; the manifest must serialise
+losslessly, reject foreign format versions, and only ever commit with
+a strictly growing generation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import IndexStateError
+from repro.store import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    Manifest,
+    RunMeta,
+    StoreCorruptionError,
+    commit_manifest,
+    load_manifest,
+    read_run_file,
+    sorted_unique_run,
+    write_run_file,
+)
+
+
+class TestSortedUniqueRun:
+    def test_sorts_ascending(self, rng):
+        keys = rng.permutation(np.arange(100, dtype=np.int64))
+        k, v = sorted_unique_run(keys, keys * 2)
+        assert np.array_equal(k, np.arange(100))
+        assert np.array_equal(v, k * 2)
+
+    def test_last_write_wins_duplicates(self):
+        keys = np.array([5, 3, 5, 3, 9], dtype=np.int64)
+        vals = np.array([50, 30, 51, 31, 90], dtype=np.int64)
+        k, v = sorted_unique_run(keys, vals)
+        assert k.tolist() == [3, 5, 9]
+        assert v.tolist() == [31, 51, 90]  # later occurrence won
+
+    def test_empty_batch(self):
+        k, v = sorted_unique_run(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert k.size == 0 and v.size == 0
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(IndexStateError):
+            sorted_unique_run(np.arange(3), np.arange(4))
+
+
+class TestRunFiles:
+    def test_roundtrip_bit_exact(self, tmp_path, rng):
+        keys = np.unique(rng.integers(-(2**62), 2**62, 500))
+        vals = rng.integers(-(2**62), 2**62, keys.size)
+        checksum, size = write_run_file(tmp_path, "r.npz", keys, vals)
+        assert checksum.startswith("sha256:")
+        assert size == (tmp_path / "r.npz").stat().st_size
+        k, v = read_run_file(tmp_path, "r.npz", checksum)
+        assert np.array_equal(k, keys) and np.array_equal(v, vals)
+        assert k.dtype == np.int64 and v.dtype == np.int64
+
+    def test_no_tmp_straggler_after_write(self, tmp_path):
+        write_run_file(tmp_path, "r.npz", np.arange(5), np.arange(5))
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_corrupted_bytes_rejected(self, tmp_path):
+        checksum, _ = write_run_file(tmp_path, "r.npz", np.arange(5), np.arange(5))
+        payload = bytearray((tmp_path / "r.npz").read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        (tmp_path / "r.npz").write_bytes(bytes(payload))
+        with pytest.raises(StoreCorruptionError, match="checksum mismatch"):
+            read_run_file(tmp_path, "r.npz", checksum)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(StoreCorruptionError, match="unreadable"):
+            read_run_file(tmp_path, "absent.npz", "sha256:00")
+
+
+def _meta(name="run-g00000002-s0000.npz", kind="run", shard=0, generation=2):
+    return RunMeta(
+        name=name,
+        kind=kind,
+        shard=shard,
+        generation=generation,
+        n_keys=10,
+        min_key=1,
+        max_key=99,
+        checksum="sha256:deadbeef",
+        size_bytes=1234,
+    )
+
+
+def _manifest(artefacts=(), generation=1):
+    return Manifest(
+        generation=generation,
+        family="lipp",
+        n_shards=2,
+        boundaries=(500,),
+        alphas=(0.1, None),
+        mode="equi_depth",
+        artefacts=tuple(artefacts),
+        updated_ts=1.5,
+    )
+
+
+class TestManifest:
+    def test_json_roundtrip_lossless(self):
+        manifest = _manifest([_meta(), _meta(name="b", kind="base", generation=1)])
+        again = Manifest.from_json(json.loads(json.dumps(manifest.to_json())))
+        assert again == manifest
+
+    def test_foreign_format_version_rejected(self):
+        obj = _manifest().to_json()
+        obj["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(IndexStateError, match="format_version"):
+            Manifest.from_json(obj)
+
+    def test_views(self):
+        base = _meta(name="base", kind="base", shard=1, generation=1)
+        young = _meta(name="young", generation=5, shard=1)
+        old = _meta(name="old", generation=3, shard=1)
+        manifest = _manifest([young, base, old], generation=5)
+        assert manifest.base_for(1) == base
+        assert manifest.base_for(0) is None
+        assert manifest.runs_for(1) == (old, young)  # replay order
+        assert manifest.runs_outstanding() == 2
+        assert manifest.file_names() == {"base", "young", "old"}
+
+    def test_with_artefacts_bumps_generation(self):
+        manifest = _manifest([_meta(name="a"), _meta(name="b")], generation=4)
+        nxt = manifest.with_artefacts(
+            add=(_meta(name="c"),), remove_names={"a"}
+        )
+        assert nxt.generation == 5
+        assert nxt.file_names() == {"b", "c"}
+        assert manifest.generation == 4  # transition is pure
+
+    def test_commit_then_load(self, tmp_path):
+        manifest = _manifest([_meta()])
+        commit_manifest(tmp_path, manifest)
+        loaded = load_manifest(tmp_path)
+        assert loaded is not None
+        assert loaded.generation == manifest.generation
+        assert loaded.artefacts == manifest.artefacts
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_load_uninitialised_dir_is_none(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+
+    def test_commit_rejects_non_growing_generation(self, tmp_path):
+        commit_manifest(tmp_path, _manifest(generation=3))
+        with pytest.raises(IndexStateError, match="must grow"):
+            commit_manifest(tmp_path, _manifest(generation=3))
+        with pytest.raises(IndexStateError, match="must grow"):
+            commit_manifest(tmp_path, _manifest(generation=2))
+        assert load_manifest(tmp_path).generation == 3
+
+    def test_committed_file_is_stable_json(self, tmp_path):
+        commit_manifest(tmp_path, _manifest([_meta()]))
+        obj = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert obj["format_version"] == FORMAT_VERSION
+        assert obj["service"]["family"] == "lipp"
+        assert obj["artefacts"][0]["checksum"].startswith("sha256:")
